@@ -1,0 +1,304 @@
+// Package clanbft is a DAG-based BFT state machine replication library with
+// clan-confined data dissemination, implementing "Towards Improving
+// Throughput and Scalability of DAG-based BFT SMR" (EuroSys 2026).
+//
+// The library runs Sailfish-style DAG consensus in three modes:
+//
+//   - ModeSailfish: the baseline — every party replicates every transaction
+//     block to the whole network.
+//   - ModeSingleClan: one randomly sampled honest-majority sub-committee
+//     (clan) receives, stores, and executes all payloads; the rest of the
+//     network (the tribe) carries only metadata and vote traffic.
+//   - ModeMultiClan: the tribe is partitioned into disjoint clans, each
+//     disseminating and executing its own proposers' payloads.
+//
+// Quick start (in-process cluster):
+//
+//	cluster, _ := clanbft.NewCluster(clanbft.Options{N: 4})
+//	cluster.OnCommit(0, func(c clanbft.Commit) { fmt.Println(c.Vertex.Round) })
+//	cluster.Start()
+//	cluster.Submit([]byte("tx"))
+//	...
+//	cluster.Stop()
+//
+// For simulated geo-distributed experiments, see internal/harness via the
+// cmd/bench tool; for real-socket deployments, see NewTCPNode and
+// cmd/clanbft.
+package clanbft
+
+import (
+	"fmt"
+	"time"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/mempool"
+	"clanbft/internal/store"
+	"clanbft/internal/transport"
+	"clanbft/internal/types"
+)
+
+// Mode selects the dissemination topology.
+type Mode = core.Mode
+
+// Operating modes.
+const (
+	ModeSailfish   = core.ModeBaseline
+	ModeSingleClan = core.ModeSingleClan
+	ModeMultiClan  = core.ModeMultiClan
+)
+
+// NodeID identifies a party.
+type NodeID = types.NodeID
+
+// Commit is one entry of the total order.
+type Commit = core.CommittedVertex
+
+// Options configures a cluster.
+type Options struct {
+	// N is the number of parties (minimum 4).
+	N int
+	// Mode selects the protocol (default ModeSailfish).
+	Mode Mode
+	// ClanSize overrides the single clan's size; zero solves for the
+	// smallest clan with dishonest-majority probability <= FailureProb.
+	ClanSize int
+	// NumClans partitions the tribe in ModeMultiClan (default 2).
+	NumClans int
+	// FailureProb bounds the probability of a dishonest-majority clan
+	// (default 1e-6, the paper's evaluation setting).
+	FailureProb float64
+	// MaxTxPerBlock bounds how many queued transactions one proposal
+	// drains (default 1000).
+	MaxTxPerBlock int
+	// LeadersPerRound enables multi-leader Sailfish (default 1): more
+	// leader vertices commit directly at 3-delta per round, lowering
+	// average commit latency.
+	LeadersPerRound int
+	// RoundTimeout bounds the wait for a round leader (default 3 s).
+	RoundTimeout time.Duration
+	// CheckSigs enables real signature verification (default on —
+	// simulation harnesses turn it off and model CPU costs instead).
+	NoCheckSigs bool
+	// StoreDir persists consensus state under this directory (one
+	// subdirectory per node); empty keeps everything in memory.
+	StoreDir string
+	// Seed drives deterministic key generation and clan sampling.
+	Seed int64
+}
+
+func (o *Options) fill() error {
+	if o.N < 4 {
+		return fmt.Errorf("clanbft: need at least 4 parties, got %d", o.N)
+	}
+	if o.FailureProb == 0 {
+		o.FailureProb = 1e-6
+	}
+	if o.MaxTxPerBlock == 0 {
+		o.MaxTxPerBlock = 1000
+	}
+	if o.RoundTimeout == 0 {
+		o.RoundTimeout = 3 * time.Second
+	}
+	if o.Mode == ModeMultiClan && o.NumClans == 0 {
+		o.NumClans = 2
+	}
+	return nil
+}
+
+// PlanClanSize returns the smallest clan size for a tribe of n parties with
+// f = floor((n-1)/3) Byzantine such that the sampled clan has an honest
+// majority except with probability at most failureProb.
+func PlanClanSize(n int, failureProb float64) int {
+	f := committee.MaxFaulty(n)
+	return committee.MinClanSizeStrict(n, f, committee.RatFromFloat(failureProb))
+}
+
+// PlanMultiClanFailure returns the probability that partitioning n parties
+// into q equal clans yields at least one clan with a dishonest majority.
+func PlanMultiClanFailure(n, q int) float64 {
+	f := committee.MaxFaulty(n)
+	return committee.Float(committee.MultiClanFailureProb(n, f, committee.EqualPartitionSizes(n, q)))
+}
+
+// Cluster is an in-process cluster of consensus nodes connected by
+// channels, running on the wall clock. It is intended for applications that
+// embed replicated state machines, for tests, and for the examples; use
+// NewTCPNode for multi-process deployments.
+type Cluster struct {
+	opts         Options
+	net          *transport.ChanNet
+	nodes        []*core.Node
+	pools        []*mempool.Pool
+	clans        [][]types.NodeID
+	keys         []crypto.KeyPair
+	reg          *crypto.Registry
+	stores       []store.Store
+	onCommit     [][]func(Commit)
+	started      bool
+	submitCursor int
+}
+
+// NewCluster builds (but does not start) an in-process cluster.
+func NewCluster(o Options) (*Cluster, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		opts:     o,
+		net:      transport.NewChanNet(o.N, 0),
+		keys:     crypto.GenerateKeys(o.N, uint64(o.Seed)+1),
+		onCommit: make([][]func(Commit), o.N),
+		pools:    make([]*mempool.Pool, o.N),
+	}
+	c.reg = crypto.NewRegistry(c.keys, !o.NoCheckSigs)
+
+	switch o.Mode {
+	case ModeSingleClan:
+		size := o.ClanSize
+		if size == 0 {
+			size = PlanClanSize(o.N, o.FailureProb)
+		}
+		c.clans = [][]types.NodeID{committee.SampleClan(o.N, size, o.Seed+2)}
+	case ModeMultiClan:
+		c.clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
+	}
+
+	for i := 0; i < o.N; i++ {
+		i := i
+		id := types.NodeID(i)
+		c.pools[i] = mempool.NewPool(o.MaxTxPerBlock)
+		var st store.Store
+		if o.StoreDir != "" {
+			disk, err := store.Open(fmt.Sprintf("%s/node%03d", o.StoreDir, i), store.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("clanbft: open store: %w", err)
+			}
+			st = disk
+			c.stores = append(c.stores, disk)
+		}
+		node := core.New(core.Config{
+			Self:            id,
+			N:               o.N,
+			Mode:            o.Mode,
+			Clans:           c.clans,
+			Key:             &c.keys[i],
+			Reg:             c.reg,
+			Costs:           crypto.ZeroCosts(),
+			Store:           st,
+			Blocks:          c.pools[i],
+			LeadersPerRound: o.LeadersPerRound,
+			RoundTimeout:    o.RoundTimeout,
+			Deliver: func(cv core.CommittedVertex) {
+				for _, fn := range c.onCommit[i] {
+					fn(cv)
+				}
+			},
+		}, c.net.Endpoint(id), c.net.Clock(id))
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// OnCommit registers a callback receiving node i's total order. Must be
+// called before Start; callbacks run on the node's handler goroutine and
+// must not block.
+func (c *Cluster) OnCommit(i int, fn func(Commit)) {
+	if c.started {
+		panic("clanbft: OnCommit after Start")
+	}
+	c.onCommit[i] = append(c.onCommit[i], fn)
+}
+
+// Start launches every node.
+func (c *Cluster) Start() {
+	c.started = true
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// Submit queues a transaction at a block-proposing party (round-robin over
+// proposers). Returns the party it was routed to. Clients in clan-based
+// modes send transactions to clan members only — exactly the paper's client
+// interaction model.
+func (c *Cluster) Submit(tx []byte) NodeID {
+	proposers := c.Proposers()
+	id := proposers[c.submitCursor%len(proposers)]
+	c.submitCursor++
+	c.pools[id].Submit(tx)
+	return id
+}
+
+// SubmitTo queues a transaction at a specific party's pool.
+func (c *Cluster) SubmitTo(id NodeID, tx []byte) {
+	c.pools[id].Submit(tx)
+}
+
+// Proposers lists the parties allowed to propose transaction blocks in the
+// configured mode.
+func (c *Cluster) Proposers() []NodeID {
+	if c.opts.Mode == ModeSingleClan {
+		return append([]NodeID(nil), c.clans[0]...)
+	}
+	out := make([]NodeID, c.opts.N)
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Clans returns the clan composition (nil for ModeSailfish).
+func (c *Cluster) Clans() [][]NodeID {
+	out := make([][]NodeID, len(c.clans))
+	for i, cl := range c.clans {
+		out[i] = append([]NodeID(nil), cl...)
+	}
+	return out
+}
+
+// ClanOf returns the clan index executing id's payloads, or -1.
+func (c *Cluster) ClanOf(id NodeID) int {
+	for ci, cl := range c.clans {
+		for _, m := range cl {
+			if m == id {
+				return ci
+			}
+		}
+	}
+	if c.opts.Mode == ModeSailfish {
+		return 0
+	}
+	return -1
+}
+
+// ClanFaultBound returns f_c for clan ci (how many clan members may fail
+// while clients still get f_c+1 matching responses).
+func (c *Cluster) ClanFaultBound(ci int) int {
+	if c.opts.Mode == ModeSailfish {
+		return committee.ClanMaxFaulty(c.opts.N)
+	}
+	return committee.ClanMaxFaulty(len(c.clans[ci]))
+}
+
+// Registry exposes the cluster's public-key registry (for verifying
+// execution responses with the execution package).
+func (c *Cluster) Registry() *crypto.Registry { return c.reg }
+
+// Keys returns node i's key pair (examples wire executors with it).
+func (c *Cluster) Keys(i int) *crypto.KeyPair { return &c.keys[i] }
+
+// Metrics returns node i's consensus counters.
+func (c *Cluster) Metrics(i int) core.Metrics { return c.nodes[i].MetricsSnapshot() }
+
+// Round returns node i's current round.
+func (c *Cluster) Round(i int) types.Round { return c.nodes[i].Round() }
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	c.net.Close()
+	for _, st := range c.stores {
+		st.Close()
+	}
+}

@@ -1,0 +1,115 @@
+// bench regenerates the paper's evaluation artifacts on the deterministic
+// network simulator. Each experiment prints the same series/rows the paper
+// reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	bench -exp fig1      # Figure 1: clan size vs n
+//	bench -exp table1    # Table 1: the latency matrix driving the simulator
+//	bench -exp fig5a     # Figure 5a: throughput vs latency, n=50
+//	bench -exp fig5b     # Figure 5b: n=100
+//	bench -exp fig5c     # Figure 5c: n=150 incl. multi-clan
+//	bench -exp fig6      # Figure 6: throughput vs txs/proposal, n=150
+//	bench -exp sec62     # Section 6.2 concrete probabilities
+//	bench -exp comm      # communication-complexity accounting
+//	bench -exp ablate    # single-clan throughput vs clan size
+//	bench -exp all
+//
+// -quick shrinks windows and load sets (minutes instead of hours);
+// -full runs the paper's complete 13-point load sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"clanbft/internal/core"
+	"clanbft/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig1|table1|fig5a|fig5b|fig5c|fig6|sec62|comm|ablate|all)")
+		quick = flag.Bool("quick", false, "short windows and fewer load points")
+		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
+		measF = flag.Duration("measure", 10*time.Second, "simulated measurement window")
+	)
+	flag.Parse()
+	debug.SetGCPercent(400)
+	debug.SetMemoryLimit(12 << 30)
+
+	warm, meas := *warmF, *measF
+	loads := harness.DefaultLoads
+	if *quick {
+		warm, meas = 2*time.Second, 5*time.Second
+		loads = []int{500, 3000}
+	}
+	if *full {
+		loads = harness.PaperLoads
+	}
+
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+	start := time.Now()
+
+	if run("fig1") {
+		harness.PrintFigure1(os.Stdout)
+		fmt.Println()
+	}
+	if run("table1") {
+		harness.PrintTable1(os.Stdout)
+		fmt.Println()
+	}
+	if run("sec62") {
+		two, three := harness.Section62Numbers()
+		fmt.Println("Section 6.2 — multi-clan dishonest-majority probabilities")
+		fmt.Printf("  n=150, 2 clans of 75:  %.4g   (paper: 4.015e-6)\n", two)
+		fmt.Printf("  n=387, 3 clans of 129: %.4g   (paper: 1.11e-6)\n", three)
+		fmt.Println()
+	}
+	if run("fig5a") {
+		rs := harness.Figure5(harness.SweepConfig{N: 50, Loads: loads, Warmup: warm, Measure: meas, Seed: *seed})
+		harness.PrintSweep(os.Stdout, "Figure 5a — throughput vs latency at n=50", rs)
+		fmt.Println()
+	}
+	if run("fig5b") {
+		rs := harness.Figure5(harness.SweepConfig{N: 100, Loads: loads, Warmup: warm, Measure: meas, Seed: *seed})
+		harness.PrintSweep(os.Stdout, "Figure 5b — throughput vs latency at n=100", rs)
+		fmt.Println()
+	}
+	if run("fig5c") {
+		rs := harness.Figure5(harness.SweepConfig{N: 150, Loads: loads, Warmup: warm, Measure: meas, Seed: *seed})
+		harness.PrintSweep(os.Stdout, "Figure 5c — throughput vs latency at n=150 (incl. multi-clan)", rs)
+		fmt.Println()
+	}
+	if run("fig6") {
+		rs := harness.Figure5(harness.SweepConfig{
+			N: 150, Loads: harness.Fig6Loads, Warmup: warm, Measure: meas, Seed: *seed,
+			Modes: []core.Mode{core.ModeBaseline, core.ModeSingleClan, core.ModeMultiClan},
+		})
+		harness.PrintSweep(os.Stdout, "Figure 6 — throughput vs txs/proposal at n=150", rs)
+		fmt.Println()
+	}
+	if run("ablate") {
+		n := 50
+		sizes := []int{26, 32, 40, 50}
+		rs := harness.AblateClanSize(n, 3000, sizes, *seed)
+		harness.PrintSweep(os.Stdout, "Ablation — single-clan throughput vs clan size (n=50, 3000 txs/prop)", rs)
+		fmt.Println("  (clan=50 degenerates to full dissemination with clan-only proposers)")
+		fmt.Println()
+	}
+	if run("comm") {
+		n, load := 40, 1000
+		if *quick {
+			n = 20
+		}
+		rows := harness.CommComplexity(n, load, *seed)
+		harness.PrintComm(os.Stdout, rows)
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,64 @@
+// clansize is the committee-sizing calculator behind Figure 1 and the
+// Section 6.2 analysis: given a tribe size it reports the minimum clan size
+// for a target failure probability, and the exact dishonest-majority
+// probability of multi-clan partitions.
+//
+// Usage:
+//
+//	clansize -fig1                 # reproduce Figure 1 (n = 100..1000 @ 1e-9)
+//	clansize -n 500 -prob 1e-9     # one clan size
+//	clansize -n 150 -clans 2       # partition failure probability (Sec 6.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clanbft/internal/committee"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 0, "tribe size")
+		prob   = flag.Float64("prob", 1e-9, "target failure probability")
+		clans  = flag.Int("clans", 1, "number of equal disjoint clans")
+		fig1   = flag.Bool("fig1", false, "print the Figure 1 curve (clan size vs n at 1e-9)")
+		strict = flag.Bool("strict", false, "use the strict-majority convention (ties tolerated; matches the paper's Section 7 sizes)")
+	)
+	flag.Parse()
+
+	if *fig1 {
+		fmt.Println("Figure 1: minimum clan size ensuring honest majority (failure < 1e-9)")
+		fmt.Printf("%8s %8s %10s %12s\n", "n", "f", "clan", "clan/n")
+		th := committee.RatFromFloat(1e-9)
+		for nn := 100; nn <= 1000; nn += 50 {
+			f := committee.MaxFaulty(nn)
+			nc := committee.MinClanSize(nn, f, th)
+			fmt.Printf("%8d %8d %10d %11.1f%%\n", nn, f, nc, 100*float64(nc)/float64(nn))
+		}
+		return
+	}
+	if *n == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f := committee.MaxFaulty(*n)
+	if *clans <= 1 {
+		th := committee.RatFromFloat(*prob)
+		var nc int
+		if *strict {
+			nc = committee.MinClanSizeStrict(*n, f, th)
+		} else {
+			nc = committee.MinClanSize(*n, f, th)
+		}
+		p := committee.DishonestMajorityProb(*n, f, nc)
+		fmt.Printf("n=%d f=%d target=%g -> clan size %d (exact failure prob %.4g)\n",
+			*n, f, *prob, nc, committee.Float(p))
+		return
+	}
+	sizes := committee.EqualPartitionSizes(*n, *clans)
+	p := committee.MultiClanFailureProb(*n, f, sizes)
+	fmt.Printf("n=%d f=%d partitioned into %d clans of sizes %v\n", *n, f, *clans, sizes)
+	fmt.Printf("P(some clan has a dishonest majority) = %.4g\n", committee.Float(p))
+}

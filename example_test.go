@@ -1,0 +1,54 @@
+package clanbft_test
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"clanbft"
+)
+
+// ExampleNewCluster shows the minimal lifecycle: build a cluster, observe
+// the total order, submit a transaction, and wait for it to commit.
+func ExampleNewCluster() {
+	cluster, err := clanbft.NewCluster(clanbft.Options{N: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Stop()
+
+	var mu sync.Mutex
+	done := make(chan struct{})
+	closed := false
+	cluster.OnCommit(0, func(c clanbft.Commit) {
+		if c.Block == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, tx := range c.Block.Txs {
+			if string(tx) == "pay alice 10" && !closed {
+				closed = true
+				close(done)
+			}
+		}
+	})
+	cluster.Start()
+	cluster.Submit([]byte("pay alice 10"))
+
+	select {
+	case <-done:
+		fmt.Println("committed")
+	case <-time.After(30 * time.Second):
+		fmt.Println("timeout")
+	}
+	// Output: committed
+}
+
+// ExamplePlanClanSize reproduces the paper's committee sizing: how many of
+// 500 parties must a clan contain to keep an honest majority except with
+// probability 1e-9?
+func ExamplePlanClanSize() {
+	fmt.Println(clanbft.PlanClanSize(500, 1e-9))
+	// Output: 182
+}

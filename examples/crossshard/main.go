@@ -1,0 +1,83 @@
+// crossshard demonstrates the cross-clan transaction extension (the paper's
+// §6.1 future-work direction): a 10-party tribe split into two clans, where
+// clan 0 submits atomic transfers that debit its own shard and credit clan
+// 1's shard. The credit travels as an f_c+1-signed effect certificate riding
+// the global total order — no two-phase commit, no cross-shard locking.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/execution"
+	"clanbft/internal/mempool"
+	"clanbft/internal/simnet"
+	"clanbft/internal/types"
+	"clanbft/internal/xshard"
+)
+
+func main() {
+	const n = 10
+	clans := committee.PartitionClans(n, 2, 5)
+	keys := crypto.GenerateKeys(n, 31)
+	reg := crypto.NewRegistry(keys, true)
+	net := simnet.New(simnet.Config{N: n, Regions: simnet.EvenRegions(n, 5), Seed: 6})
+
+	fmt.Printf("shard 0 (clan %v) transfers into shard 1 (clan %v)\n\n", clans[0], clans[1])
+
+	coords := make([]*xshard.Coordinator, n)
+	execs := make([]*execution.Executor, n)
+	pools := make([]*mempool.Pool, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		execs[i] = execution.NewExecutor(id, &keys[i])
+		coords[i] = xshard.New(id, clans, &keys[i], reg, execs[i])
+		pools[i] = mempool.NewPool(100)
+		coords[i].EmitEffect = func(e xshard.Effect) {
+			for _, member := range clans[e.TargetClan] {
+				coords[member].AddEffect(e)
+			}
+		}
+		node := core.New(core.Config{
+			Self: id, N: n, Mode: core.ModeMultiClan, Clans: clans,
+			Key: &keys[i], Reg: reg, Blocks: pools[i],
+			RoundTimeout: time.Second,
+			Deliver:      coords[i].Apply,
+		}, net.Endpoint(id), net.Clock(id))
+		node.Start()
+	}
+
+	// Alice (shard 0) pays Bob (shard 1) three times.
+	src := clans[0][0]
+	for k := 1; k <= 3; k++ {
+		pools[src].Submit(xshard.Encode(xshard.Tx{
+			TargetClan: 1,
+			Local:      execution.Tx{Op: execution.OpSet, Key: []byte("alice:sent"), Value: []byte(fmt.Sprintf("%d0", k))},
+			Remote:     execution.Tx{Op: execution.OpSet, Key: []byte("bob:recv"), Value: []byte(fmt.Sprintf("%d0", k))},
+		}))
+	}
+	net.Run(12 * time.Second)
+
+	shard0 := execs[clans[0][0]]
+	shard1 := execs[clans[1][0]]
+	sent, _ := shard0.Get([]byte("alice:sent"))
+	recv, _ := shard1.Get([]byte("bob:recv"))
+	fmt.Printf("shard 0 state: alice:sent=%s (local halves, applied at global order)\n", sent)
+	fmt.Printf("shard 1 state: bob:recv=%s  (remote halves, applied via effect certificates)\n", recv)
+
+	agree := true
+	ref := execs[clans[1][0]].StateRoot()
+	for _, id := range clans[1][1:] {
+		if execs[id].StateRoot() != ref {
+			agree = false
+		}
+	}
+	fmt.Printf("shard 1 replicas agree: %v (coordinator applied %d certified effects each)\n",
+		agree, coords[clans[1][0]].CrossApplied)
+	if string(sent) == "30" && string(recv) == "30" && agree {
+		fmt.Println("\natomic cross-shard transfers complete — no 2PC, no locks")
+	}
+}

@@ -1,0 +1,36 @@
+// geosim reproduces a miniature of the paper's geo-distributed evaluation
+// on the deterministic network simulator: 20 nodes spread across the five
+// GCP regions of Table 1, comparing baseline Sailfish against single-clan
+// Sailfish at increasing load. Runs in seconds of wall time while simulating
+// tens of seconds of WAN traffic.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"clanbft/internal/core"
+	"clanbft/internal/harness"
+)
+
+func main() {
+	fmt.Println("simulated 5-region deployment (Table 1 RTTs, 16 Gbps NICs), n=20")
+	fmt.Printf("%-14s %8s %12s %12s %8s\n", "protocol", "txs/prop", "tps", "latency", "rounds")
+	for _, load := range []int{250, 1000, 4000} {
+		for _, mode := range []core.Mode{core.ModeBaseline, core.ModeSingleClan} {
+			r := harness.Run(harness.Config{
+				Mode:          mode,
+				N:             20,
+				ClanSize:      13, // honest-majority clan for n=20 at ~1e-6
+				TxPerProposal: load,
+				Warmup:        3 * time.Second,
+				Measure:       8 * time.Second,
+				Seed:          1,
+			})
+			fmt.Printf("%-14s %8d %12.0f %12v %8d\n",
+				r.Mode, load, r.TPS, r.AvgLatency.Round(time.Millisecond), r.Rounds)
+		}
+	}
+	fmt.Println("\nsingle-clan Sailfish sustains higher load before saturating: blocks")
+	fmt.Println("travel to 13 of 20 parties instead of all 20 (Section 5).")
+}

@@ -1,0 +1,52 @@
+// Quickstart: spin up an in-process 4-party cluster, submit transactions,
+// and watch them come out of the totally ordered commit stream.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"clanbft"
+)
+
+func main() {
+	cluster, err := clanbft.NewCluster(clanbft.Options{N: 4, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Stop()
+
+	var mu sync.Mutex
+	committed := 0
+	done := make(chan struct{})
+	// Observe node 0's total order (all nodes deliver the same sequence).
+	cluster.OnCommit(0, func(c clanbft.Commit) {
+		if c.Block == nil {
+			return
+		}
+		mu.Lock()
+		for _, tx := range c.Block.Txs {
+			committed++
+			fmt.Printf("committed round=%-3d proposer=%d leaderRound=%-3d tx=%q\n",
+				c.Vertex.Round, c.Vertex.Source, c.LeaderRound, tx)
+		}
+		if committed == 10 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+
+	cluster.Start()
+	for i := 0; i < 10; i++ {
+		target := cluster.Submit([]byte(fmt.Sprintf("transfer %d coins", i)))
+		fmt.Printf("submitted tx %d to party %d\n", i, target)
+	}
+
+	select {
+	case <-done:
+		fmt.Println("all 10 transactions committed in total order")
+	case <-time.After(30 * time.Second):
+		fmt.Println("timed out waiting for commits")
+	}
+}

@@ -1,0 +1,121 @@
+// sharedsequencer demonstrates the multi-clan protocol in the paper's
+// flagship application (Section 6.1): a shared sequencer ordering
+// transactions for independent rollup applications. The 12-party tribe is
+// partitioned into two clans; each application submits to proposers of its
+// designated clan, every transaction is sequenced in ONE global total order,
+// yet each clan stores and executes only its own application's payloads.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"clanbft"
+)
+
+func main() {
+	cluster, err := clanbft.NewCluster(clanbft.Options{
+		N:        12,
+		Mode:     clanbft.ModeMultiClan,
+		NumClans: 2,
+		Seed:     11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Stop()
+
+	clans := cluster.Clans()
+	apps := []string{"rollup-A", "rollup-B"}
+	fmt.Printf("shared sequencer: clan0=%v serves %s, clan1=%v serves %s\n",
+		clans[0], apps[0], clans[1], apps[1])
+	fmt.Printf("multi-clan failure probability at n=12, q=2: %.3g (demo scale)\n\n",
+		clanbft.PlanMultiClanFailure(12, 2))
+
+	// A member of each clan reports the global sequence plus which
+	// payloads it actually stores.
+	type obs struct {
+		seq      []string
+		payloads map[string]int
+	}
+	var mu sync.Mutex
+	observers := map[int]*obs{}
+	for ci, clan := range clans {
+		ci := ci
+		o := &obs{payloads: map[string]int{}}
+		observers[ci] = o
+		member := int(clan[0])
+		cluster.OnCommit(member, func(c clanbft.Commit) {
+			mu.Lock()
+			defer mu.Unlock()
+			if c.Vertex.BlockDigest.IsZero() {
+				return
+			}
+			pos := fmt.Sprintf("%d/%d", c.Vertex.Round, c.Vertex.Source)
+			o.seq = append(o.seq, pos)
+			if c.Block != nil {
+				// This clan member holds the payload: its own app's
+				// transactions.
+				for _, tx := range c.Block.Txs {
+					o.payloads[string(tx[:8])]++
+				}
+			}
+		})
+	}
+
+	cluster.Start()
+
+	// Each app submits to its own clan's proposers.
+	perApp := 12
+	for i := 0; i < perApp; i++ {
+		for ci, app := range apps {
+			tx := []byte(fmt.Sprintf("%-8.8s tx %03d", app, i))
+			cluster.SubmitTo(clans[ci][i%len(clans[ci])], tx)
+		}
+	}
+
+	// Wait for both observers to sequence some traffic.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		a, b := observers[0], observers[1]
+		enough := len(a.seq) >= 12 && len(b.seq) >= 12 &&
+			len(a.payloads) > 0 && len(b.payloads) > 0
+		mu.Unlock()
+		if enough {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	a, b := observers[0], observers[1]
+	// The global order is identical at both clans (prefix check).
+	n := len(a.seq)
+	if len(b.seq) < n {
+		n = len(b.seq)
+	}
+	for i := 0; i < n; i++ {
+		if a.seq[i] != b.seq[i] {
+			fmt.Println("ORDER DIVERGENCE — should never happen")
+			return
+		}
+	}
+	fmt.Printf("global sequence agrees across clans over %d block-carrying vertices\n", n)
+	for ci, app := range apps {
+		o := observers[ci]
+		fmt.Printf("clan %d (%s) stored payload prefixes: %v\n", ci, app, keys(o.payloads))
+	}
+	fmt.Println("\neach clan executed only its own application's payloads,")
+	fmt.Println("while sharing one global sequence — the shared-sequencer property.")
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

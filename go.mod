@@ -1,0 +1,3 @@
+module clanbft
+
+go 1.22

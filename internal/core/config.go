@@ -1,0 +1,422 @@
+// Package core implements the paper's contribution: DAG-based BFT SMR with
+// clan-confined data dissemination. One engine provides three operating
+// modes:
+//
+//   - ModeBaseline — Sailfish as published [S&P 25]: every party proposes a
+//     vertex + transaction block each round, blocks are replicated to the
+//     whole tribe through the two-round RBC. This is the protocol the paper
+//     compares against.
+//   - ModeSingleClan — Section 5: one clan is elected; only clan members
+//     propose blocks; blocks travel to the clan alone via tribe-assisted
+//     RBC merged with the vertex RBC (clan members ECHO only after holding
+//     both vertex and block; the ECHO quorum requires >= f_c+1 clan votes).
+//   - ModeMultiClan — Section 6: the tribe is partitioned into disjoint
+//     clans; every party proposes, sending its block only to its own clan.
+//
+// The Sailfish consensus core (rounds, leaders, timeout and no-vote
+// certificates, the 1-RBC+1δ leader commit rule, indirect commits over
+// strong paths, deterministic total ordering) is identical across modes —
+// exactly the paper's claim that the clan technique slots into existing
+// RBC-based DAG protocols without touching their commit logic.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/crypto"
+	"clanbft/internal/dag"
+	"clanbft/internal/store"
+	"clanbft/internal/transport"
+	"clanbft/internal/types"
+)
+
+// Mode selects the dissemination topology.
+type Mode int
+
+const (
+	// ModeBaseline replicates blocks to the entire tribe (Sailfish).
+	ModeBaseline Mode = iota
+	// ModeSingleClan confines blocks to one elected clan (Section 5).
+	ModeSingleClan
+	// ModeMultiClan partitions the tribe into clans, one per proposer
+	// group (Section 6).
+	ModeMultiClan
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "sailfish"
+	case ModeSingleClan:
+		return "single-clan"
+	case ModeMultiClan:
+		return "multi-clan"
+	}
+	return "unknown"
+}
+
+// BlockSource supplies transaction payloads for proposals. NextBlock may
+// return nil for an empty proposal; the engine fills Round/Source/CreatedAt.
+type BlockSource interface {
+	NextBlock(r types.Round) *types.Block
+}
+
+// CommittedVertex is one entry of the total order.
+type CommittedVertex struct {
+	Vertex *types.Vertex
+	// Block is the vertex's payload; nil when this party is outside the
+	// proposer's clan (it holds only the digest) or the vertex was empty.
+	Block *types.Block
+	// LeaderRound is the round of the committed leader whose ordering
+	// emitted this vertex.
+	LeaderRound types.Round
+	// Direct reports whether that leader committed directly (2f+1 votes)
+	// rather than via a strong path from a later leader.
+	Direct bool
+}
+
+// Config parameterizes a consensus node.
+type Config struct {
+	Self types.NodeID
+	N    int
+	F    int // defaults to (N-1)/3
+
+	Mode Mode
+	// Clans lists clan memberships: exactly one clan for ModeSingleClan,
+	// the full partition for ModeMultiClan, unused for ModeBaseline.
+	Clans [][]types.NodeID
+
+	Key *crypto.KeyPair
+	Reg *crypto.Registry
+	// Costs models CPU; use crypto.ZeroCosts() for pure logic tests.
+	Costs crypto.Costs
+	// Store, when non-nil, persists delivered vertices and blocks.
+	Store store.Store
+
+	// Blocks supplies proposal payloads (nil proposes empty vertices).
+	Blocks BlockSource
+	// OnUnhandled receives messages the consensus engine does not consume
+	// (e.g. a co-resident dissemination layer's traffic). Nil drops them.
+	OnUnhandled func(from types.NodeID, m types.Message)
+	// Deliver receives the total order, one committed vertex at a time.
+	Deliver func(CommittedVertex)
+
+	// LeadersPerRound enables multi-leader Sailfish: the paper's baseline
+	// implementation commits multiple leader vertices per round, all with
+	// 3-delta latency. The first leader of each round remains the one that
+	// gates round advancement (timeouts / no-vote certificates); the rest
+	// commit opportunistically under the same 2f+1-votes rule. Default 1.
+	LeadersPerRound int
+
+	// RoundTimeout bounds the wait for a round's leader vertex
+	// (default 3 s).
+	RoundTimeout time.Duration
+	// PullRetry is the re-request interval for missing blocks/vertices
+	// (default 200 ms).
+	PullRetry time.Duration
+	// GCDepth is how many rounds behind the last ordered leader round the
+	// DAG retains (default 64).
+	GCDepth int
+}
+
+func (c *Config) fill() {
+	if c.N <= 0 {
+		panic("core: N must be positive")
+	}
+	if c.F == 0 {
+		c.F = (c.N - 1) / 3
+	}
+	if c.RoundTimeout == 0 {
+		c.RoundTimeout = 3 * time.Second
+	}
+	if c.PullRetry == 0 {
+		c.PullRetry = 200 * time.Millisecond
+	}
+	if c.GCDepth == 0 {
+		c.GCDepth = 64
+	}
+	if c.LeadersPerRound <= 0 {
+		c.LeadersPerRound = 1
+	}
+	if c.LeadersPerRound > c.N {
+		c.LeadersPerRound = c.N
+	}
+	switch c.Mode {
+	case ModeSingleClan:
+		if len(c.Clans) != 1 || len(c.Clans[0]) == 0 {
+			panic("core: ModeSingleClan requires exactly one non-empty clan")
+		}
+	case ModeMultiClan:
+		if len(c.Clans) < 1 {
+			panic("core: ModeMultiClan requires clans")
+		}
+	}
+}
+
+// Node is one consensus party. All entry points (message handling, timers,
+// Start) must run in the endpoint's serialized context; the engine installs
+// itself as the endpoint handler via Start.
+type Node struct {
+	// mu serializes every entry point (message handler, timer callbacks,
+	// Start) with external accessors (Round, Metrics). Under the
+	// simulator all entries already run on one goroutine; under real
+	// transports the mailbox serializes handler calls but Start and the
+	// monitoring accessors run on caller goroutines.
+	mu sync.Mutex
+
+	cfg Config
+	ep  transport.Endpoint
+	clk transport.Clock
+
+	// Clan topology.
+	clanOf   []types.ClanID          // proposer -> clan (NoClan if none)
+	clans    [][]types.NodeID        // resolved clans
+	fcOf     []int                   // clan -> f_c
+	selfClan types.ClanID            // this party's clan
+	inClan   []map[types.NodeID]bool // clan -> membership set
+
+	dag *dag.DAG
+	// insts holds RBC instance state, round-sliced: insts[r][source].
+	insts  map[types.Round][]*vinst
+	blocks map[types.Hash]*types.Block
+
+	// Per-round delivery tracking (round quorum + leader arrival).
+	deliveredByRound map[types.Round][]*types.Vertex
+	leaderDelivered  map[types.Round]bool
+
+	round          types.Round // highest round proposed
+	maxQuorumRound types.Round // highest round with 2f+1 delivered incl. leader
+	started        bool
+	roundTimer     transport.Timer
+	timedOutRound  map[types.Round]bool
+
+	// Vote tracking for the leader commit rule: votes[lp] = sources of
+	// round lp.Round+1 proposals with a strong edge to leader vertex lp.
+	votes           map[types.Position]map[types.NodeID]bool
+	committedDirect map[types.Position]bool
+	// lastOrderedSeq is the highest leader slot (round*L + idx) already
+	// enqueued for ordering.
+	lastOrderedSeq uint64
+	haveOrdered    bool
+
+	// Timeout/no-vote certificate assembly.
+	timeoutAggs map[types.Round]*crypto.Aggregator
+	tcs         map[types.Round]*types.TimeoutCert
+	novoteAggs  map[types.Round]*crypto.Aggregator
+	nvcs        map[types.Round]*types.NoVoteCert
+
+	// Deferred work.
+	echoWait       map[types.Position][]types.Position // parent -> children awaiting echo
+	pendingInsert  map[types.Position]*types.Vertex    // delivered, awaiting parents
+	waitingChild   map[types.Position][]types.Position // parent -> children waiting on it
+	pendingLeaders []leaderCommit                      // committed, awaiting complete history
+	commitWait     map[types.Position]bool             // ancestors the head commit waits for
+	outQueue       []CommittedVertex                   // ordered, awaiting blocks
+
+	// scratchSeen is a reusable N-sized buffer for validateVertex.
+	scratchSeen []bool
+
+	// lateVertices collects vertices that missed strong-edge inclusion and
+	// must be weak-edged by the next proposal (guarantees BAB validity).
+	lateVertices map[types.Position]*types.Vertex
+
+	// Metrics.
+	Metrics Metrics
+}
+
+type leaderCommit struct {
+	pos    types.Position
+	direct bool
+	seq    uint64 // slot sequence: round*LeadersPerRound + leader index
+}
+
+// Metrics exposes counters the harness reads after a run.
+type Metrics struct {
+	VerticesProposed  int
+	VerticesDelivered int
+	VerticesOrdered   int
+	BlocksProposed    int
+	BlocksReceived    int
+	BlocksPulled      int
+	TxsOrdered        int
+	DirectCommits     int
+	IndirectCommits   int
+	Timeouts          int
+	LastOrderedRound  types.Round
+}
+
+// vinst is the merged vertex+block RBC instance state for one position.
+type vinst struct {
+	vertex   *types.Vertex
+	valFrom  bool // first VAL processed (vote counted, echo considered)
+	block    *types.Block
+	hasBlock bool
+
+	echoSent       bool
+	echoRegistered bool // parked in echoWait until parents deliver
+	certSent       bool
+	echoes         map[types.Hash]*echoTally
+
+	certDigest types.Hash
+	hasCert    bool
+	cert       *types.EchoCertMsg // retained for peer catch-up (VtxReq)
+
+	delivered bool // vertex + cert complete (counts toward round quorum)
+	inserted  bool // in the DAG (or pending parent buffer)
+
+	blockPull  transport.Timer
+	vtxPull    transport.Timer
+	pullCursor int
+}
+
+// echoTally folds echo votes for one candidate digest incrementally: the
+// aggregator holds the signer bitmap plus the XOR-folded tag (becoming the
+// certificate when the quorum completes), clanVotes counts voters from the
+// proposer's block clan.
+type echoTally struct {
+	agg       *crypto.Aggregator
+	total     int
+	clanVotes int
+}
+
+// New creates a consensus node bound to an endpoint and clock.
+func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
+	cfg.fill()
+	n := &Node{
+		cfg:              cfg,
+		ep:               ep,
+		clk:              clk,
+		dag:              dag.New(cfg.N),
+		insts:            map[types.Round][]*vinst{},
+		blocks:           map[types.Hash]*types.Block{},
+		deliveredByRound: map[types.Round][]*types.Vertex{},
+		leaderDelivered:  map[types.Round]bool{},
+		timedOutRound:    map[types.Round]bool{},
+		votes:            map[types.Position]map[types.NodeID]bool{},
+		committedDirect:  map[types.Position]bool{},
+		timeoutAggs:      map[types.Round]*crypto.Aggregator{},
+		tcs:              map[types.Round]*types.TimeoutCert{},
+		novoteAggs:       map[types.Round]*crypto.Aggregator{},
+		nvcs:             map[types.Round]*types.NoVoteCert{},
+		echoWait:         map[types.Position][]types.Position{},
+		pendingInsert:    map[types.Position]*types.Vertex{},
+		waitingChild:     map[types.Position][]types.Position{},
+		commitWait:       map[types.Position]bool{},
+		lateVertices:     map[types.Position]*types.Vertex{},
+		selfClan:         types.NoClan,
+		scratchSeen:      make([]bool, cfg.N),
+	}
+	n.clanOf = make([]types.ClanID, cfg.N)
+	for i := range n.clanOf {
+		n.clanOf[i] = types.NoClan
+	}
+	switch cfg.Mode {
+	case ModeBaseline:
+		// One implicit clan containing everyone.
+		all := make([]types.NodeID, cfg.N)
+		inAll := map[types.NodeID]bool{}
+		for i := range all {
+			all[i] = types.NodeID(i)
+			inAll[types.NodeID(i)] = true
+		}
+		n.clans = [][]types.NodeID{all}
+		n.inClan = []map[types.NodeID]bool{inAll}
+		n.fcOf = []int{committee.ClanMaxFaulty(cfg.N)}
+		for i := range n.clanOf {
+			n.clanOf[i] = 0
+		}
+		n.selfClan = 0
+	default:
+		n.clans = cfg.Clans
+		for ci, clan := range cfg.Clans {
+			in := map[types.NodeID]bool{}
+			for _, id := range clan {
+				in[id] = true
+				n.clanOf[id] = types.ClanID(ci)
+				if id == cfg.Self {
+					n.selfClan = types.ClanID(ci)
+				}
+			}
+			n.inClan = append(n.inClan, in)
+			n.fcOf = append(n.fcOf, committee.ClanMaxFaulty(len(clan)))
+		}
+	}
+	return n
+}
+
+// blockClan returns the clan that receives proposer's blocks, or NoClan if
+// this proposer never carries a payload.
+func (n *Node) blockClan(proposer types.NodeID) types.ClanID {
+	switch n.cfg.Mode {
+	case ModeBaseline:
+		return 0
+	case ModeSingleClan:
+		if n.clanOf[proposer] == 0 {
+			return 0
+		}
+		return types.NoClan // non-clan parties propose empty vertices
+	default: // ModeMultiClan
+		return n.clanOf[proposer]
+	}
+}
+
+// proposesBlocks reports whether this party includes payloads in its own
+// vertices.
+func (n *Node) proposesBlocks() bool {
+	return n.blockClan(n.cfg.Self) != types.NoClan
+}
+
+// leaderAt returns round r's k-th leader (k < LeadersPerRound). The schedule
+// is round-robin over the whole tribe; every party proposes vertices in every
+// mode, so every party is eligible.
+func (n *Node) leaderAt(r types.Round, k int) types.NodeID {
+	return types.NodeID((uint64(r)*uint64(n.cfg.LeadersPerRound) + uint64(k)) % uint64(n.cfg.N))
+}
+
+// leader returns round r's primary leader — the one gating round
+// advancement, timeouts, and no-vote certificates.
+func (n *Node) leader(r types.Round) types.NodeID { return n.leaderAt(r, 0) }
+
+// leaderIdx returns which leader slot (0..L-1) the position occupies, or -1
+// if it is not a leader position.
+func (n *Node) leaderIdx(pos types.Position) int {
+	L := n.cfg.LeadersPerRound
+	base := uint64(pos.Round) * uint64(L) % uint64(n.cfg.N)
+	k := (uint64(pos.Source) + uint64(n.cfg.N) - base) % uint64(n.cfg.N)
+	if k < uint64(L) {
+		return int(k)
+	}
+	return -1
+}
+
+// slotSeq linearizes leader slots: round-major, slot-minor.
+func (n *Node) slotSeq(pos types.Position, idx int) uint64 {
+	return uint64(pos.Round)*uint64(n.cfg.LeadersPerRound) + uint64(idx)
+}
+
+// slotPos inverts slotSeq.
+func (n *Node) slotPos(seq uint64) types.Position {
+	L := uint64(n.cfg.LeadersPerRound)
+	r := types.Round(seq / L)
+	return types.Position{Round: r, Source: n.leaderAt(r, int(seq%L))}
+}
+
+// Round returns the highest round this party has proposed in.
+func (n *Node) Round() types.Round {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.round
+}
+
+// MetricsSnapshot returns a consistent copy of the node's counters.
+func (n *Node) MetricsSnapshot() Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Metrics
+}
+
+// DAG exposes the node's DAG (read-only use by tests and tools; callers
+// must not use it concurrently with a running node).
+func (n *Node) DAG() *dag.DAG { return n.dag }

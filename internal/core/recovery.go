@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sort"
+
+	"clanbft/internal/types"
+)
+
+// Crash recovery. A node with a persistent store writes three key families:
+//
+//	p/<round>   its own proposal digest, written BEFORE the proposal is sent
+//	            (so a recovered node never equivocates on a round it already
+//	            proposed in);
+//	v/<pos>     every vertex whose merged RBC delivered locally;
+//	b/<digest>  every block payload this party stored.
+//
+// Recover rebuilds the DAG, block cache, and round state from those records.
+// Ordering state (the last ordered leader) is intentionally NOT persisted:
+// after recovery the engine re-derives commits from the DAG, so the Deliver
+// callback re-emits previously delivered vertices — at-least-once delivery
+// across restarts. Applications that need exactly-once semantics dedupe on
+// (round, source), which is how the execution layer's deterministic state
+// machine naturally behaves when replayed from the start.
+
+// proposalKey is the p/<round> key.
+func proposalKey(r types.Round) []byte {
+	var key [2 + 8]byte
+	key[0], key[1] = 'p', '/'
+	for i := 0; i < 8; i++ {
+		key[2+i] = byte(r >> (8 * (7 - i)))
+	}
+	return key[:]
+}
+
+// recover loads persisted state. Called from Start when a store is present.
+// It returns whether any prior state existed.
+func (n *Node) recoverFromStore() bool {
+	st := n.cfg.Store
+	if st == nil {
+		return false
+	}
+	// Own-proposal highwater mark.
+	var highwater types.Round
+	proposed := false
+	st.Scan([]byte("p/"), func(key, value []byte) bool {
+		if len(key) != 10 {
+			return true
+		}
+		var r types.Round
+		for i := 0; i < 8; i++ {
+			r = r<<8 | types.Round(key[2+i])
+		}
+		if !proposed || r > highwater {
+			highwater = r
+		}
+		proposed = true
+		return true
+	})
+
+	// Blocks.
+	st.Scan([]byte("b/"), func(key, value []byte) bool {
+		blk, _, err := types.UnmarshalBlock(value)
+		if err != nil {
+			return true
+		}
+		var d types.Hash
+		if len(key) == 2+32 {
+			copy(d[:], key[2:])
+			n.blocks[d] = blk
+		}
+		return true
+	})
+
+	// Vertices, inserted parents-first (ascending round).
+	var verts []*types.Vertex
+	st.Scan([]byte("v/"), func(key, value []byte) bool {
+		v, _, err := types.UnmarshalVertex(value)
+		if err != nil {
+			return true
+		}
+		verts = append(verts, v)
+		return true
+	})
+	sort.Slice(verts, func(i, j int) bool {
+		if verts[i].Round != verts[j].Round {
+			return verts[i].Round < verts[j].Round
+		}
+		return verts[i].Source < verts[j].Source
+	})
+	for _, v := range verts {
+		pos := v.Pos()
+		in := n.inst(pos)
+		if in.delivered {
+			continue
+		}
+		in.vertex = v
+		in.valFrom = true
+		in.hasCert = true // persisted only after RBC delivery
+		in.certDigest = v.DigestCached()
+		in.delivered = true
+		n.deliveredByRound[v.Round] = append(n.deliveredByRound[v.Round], v)
+		if v.Source == n.leader(v.Round) {
+			n.leaderDelivered[v.Round] = true
+		}
+		n.dag.Insert(v)
+		// Votes re-derived from recovered proposals keep the commit rule
+		// working across the restart boundary.
+		n.countVote(v)
+	}
+
+	if proposed && highwater >= n.round {
+		n.round = highwater
+	}
+	// Commit checks ran against a partially rebuilt DAG (countVote fires
+	// as vertices are replayed) and may have parked ancestors in
+	// commitWait; those inserts bypassed insertNow, so reset the wait set
+	// and let Start's drainCommits re-derive it against the full DAG.
+	clear(n.commitWait)
+	return proposed || len(verts) > 0
+}
+
+// persistProposal records this party's round-r proposal digest before the
+// proposal leaves the node (write-ahead against equivocation).
+func (n *Node) persistProposal(r types.Round, digest types.Hash) {
+	if n.cfg.Store == nil {
+		return
+	}
+	n.cfg.Store.Put(proposalKey(r), digest[:])
+	n.clk.Charge(n.cfg.Costs.StoreWrite)
+}

@@ -1,0 +1,272 @@
+package execution
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/types"
+)
+
+func TestTxCodec(t *testing.T) {
+	f := func(op byte, key, value []byte) bool {
+		tx := Tx{Op: op%3 + 1, Key: key, Value: value}
+		got, ok := DecodeTx(EncodeTx(tx))
+		return ok && got.Op == tx.Op && bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeTx(nil); ok {
+		t.Fatal("decoded empty tx")
+	}
+	if _, ok := DecodeTx([]byte{1, 200}); ok {
+		t.Fatal("decoded truncated tx")
+	}
+}
+
+func mkBlock(txs ...Tx) *types.Block {
+	b := &types.Block{}
+	for _, tx := range txs {
+		b.Txs = append(b.Txs, EncodeTx(tx))
+	}
+	return b
+}
+
+func cv(b *types.Block) core.CommittedVertex {
+	return core.CommittedVertex{Vertex: &types.Vertex{}, Block: b}
+}
+
+func TestExecutorSemantics(t *testing.T) {
+	e := NewExecutor(0, nil)
+	var results [][]byte
+	e.Emit = func(r Response) { results = append(results, r.Result) }
+	e.Apply(cv(mkBlock(
+		Tx{Op: OpSet, Key: []byte("a"), Value: []byte("1")},
+		Tx{Op: OpGet, Key: []byte("a")},
+		Tx{Op: OpDel, Key: []byte("a")},
+		Tx{Op: OpGet, Key: []byte("a")},
+	)))
+	want := []string{"OK", "1", "OK", ""}
+	if len(results) != len(want) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, w := range want {
+		if string(results[i]) != w {
+			t.Fatalf("result %d = %q, want %q", i, results[i], w)
+		}
+	}
+	if e.Executed != 4 || e.Len() != 0 {
+		t.Fatalf("executed=%d len=%d", e.Executed, e.Len())
+	}
+}
+
+func TestExecutorDeterminism(t *testing.T) {
+	run := func() types.Hash {
+		e := NewExecutor(1, nil)
+		for i := 0; i < 50; i++ {
+			e.Apply(cv(mkBlock(
+				Tx{Op: OpSet, Key: []byte(fmt.Sprintf("k%d", i%7)), Value: []byte(fmt.Sprintf("v%d", i))},
+				Tx{Op: OpGet, Key: []byte(fmt.Sprintf("k%d", (i+1)%7))},
+			)))
+		}
+		return e.StateRoot()
+	}
+	if run() != run() {
+		t.Fatal("state root not deterministic")
+	}
+}
+
+func TestExecutorDivergenceDetectable(t *testing.T) {
+	a := NewExecutor(0, nil)
+	b := NewExecutor(1, nil)
+	blk := mkBlock(Tx{Op: OpSet, Key: []byte("x"), Value: []byte("1")})
+	a.Apply(cv(blk))
+	b.Apply(cv(blk))
+	if a.StateRoot() != b.StateRoot() {
+		t.Fatal("identical histories diverged")
+	}
+	b.Apply(cv(mkBlock(Tx{Op: OpSet, Key: []byte("x"), Value: []byte("2")})))
+	if a.StateRoot() == b.StateRoot() {
+		t.Fatal("divergent histories share a root")
+	}
+}
+
+func TestExecutorSkipsForeignAndSynthetic(t *testing.T) {
+	e := NewExecutor(0, nil)
+	e.Apply(core.CommittedVertex{Vertex: &types.Vertex{}}) // no block (foreign clan)
+	e.Apply(cv(&types.Block{SynthCount: 100, SynthSize: 512}))
+	if e.Executed != 0 {
+		t.Fatalf("executed %d", e.Executed)
+	}
+}
+
+func TestExecutorMalformedTxDeterministic(t *testing.T) {
+	a, b := NewExecutor(0, nil), NewExecutor(1, nil)
+	blk := &types.Block{Txs: [][]byte{{0xFF, 0xFF}, nil, {1}}}
+	a.Apply(cv(blk))
+	b.Apply(cv(blk))
+	if a.StateRoot() != b.StateRoot() {
+		t.Fatal("malformed txs broke determinism")
+	}
+	if a.Executed != 3 {
+		t.Fatalf("executed %d, want 3 (no-ops still count)", a.Executed)
+	}
+}
+
+func TestCollectorAcceptsAtFcPlusOne(t *testing.T) {
+	keys := crypto.GenerateKeys(5, 1)
+	reg := crypto.NewRegistry(keys, true)
+	fc := 2
+
+	raw := EncodeTx(Tx{Op: OpSet, Key: []byte("k"), Value: []byte("v")})
+	// Three executors apply the same history.
+	var responses []Response
+	for i := 0; i < 3; i++ {
+		e := NewExecutor(types.NodeID(i), &keys[i])
+		e.Emit = func(r Response) { responses = append(responses, r) }
+		e.Apply(cv(&types.Block{Txs: [][]byte{raw}}))
+	}
+
+	var accepted []byte
+	c := NewCollector(fc, reg)
+	c.Accepted = func(tx TxID, result []byte) { accepted = result }
+	if got := c.Add(responses[0]); got != nil {
+		t.Fatal("accepted with 1 response")
+	}
+	if got := c.Add(responses[1]); got != nil {
+		t.Fatal("accepted with 2 responses (fc+1 = 3)")
+	}
+	if got := c.Add(responses[2]); string(got) != "OK" {
+		t.Fatalf("not accepted at fc+1: %q", got)
+	}
+	if string(accepted) != "OK" {
+		t.Fatal("Accepted callback missed")
+	}
+	if r, ok := c.Result(TxIDOf(raw)); !ok || string(r) != "OK" {
+		t.Fatal("Result lookup failed")
+	}
+}
+
+func TestCollectorRejectsInconsistentAndForged(t *testing.T) {
+	keys := crypto.GenerateKeys(6, 2)
+	reg := crypto.NewRegistry(keys, true)
+	raw := EncodeTx(Tx{Op: OpGet, Key: []byte("k")})
+	c := NewCollector(2, reg) // need 3 matching
+
+	honest := func(id types.NodeID) Response {
+		e := NewExecutor(id, &keys[id])
+		var out Response
+		e.Emit = func(r Response) { out = r }
+		e.Apply(cv(&types.Block{Txs: [][]byte{raw}}))
+		return out
+	}
+	// Two Byzantine executors report a different result (signed, but
+	// inconsistent with the honest majority).
+	lie := func(id types.NodeID) Response {
+		r := Response{Tx: TxIDOf(raw), Executor: id, Result: []byte("EVIL"), StateRoot: types.HashBytes([]byte("fake"))}
+		r.Sig = crypto.Sign(&keys[id], respCtx(&r))
+		return r
+	}
+	// And one forged (bad signature).
+	forged := Response{Tx: TxIDOf(raw), Executor: 5, Result: []byte(""), StateRoot: types.Hash{}}
+
+	if c.Add(lie(3)) != nil || c.Add(lie(4)) != nil {
+		t.Fatal("accepted minority lie")
+	}
+	if c.Add(forged) != nil {
+		t.Fatal("accepted forged response")
+	}
+	if c.Add(honest(0)) != nil || c.Add(honest(1)) != nil {
+		t.Fatal("accepted too early")
+	}
+	if got := c.Add(honest(2)); string(got) != "" {
+		t.Fatalf("honest quorum rejected: %v", got)
+	}
+	// The decided result sticks even if more lies arrive.
+	if got := c.Add(lie(5)); string(got) != "" {
+		t.Fatal("decision changed after acceptance")
+	}
+}
+
+func TestCollectorDuplicateExecutorCountsOnce(t *testing.T) {
+	keys := crypto.GenerateKeys(3, 3)
+	reg := crypto.NewRegistry(keys, true)
+	raw := EncodeTx(Tx{Op: OpGet, Key: []byte("z")})
+	c := NewCollector(1, reg) // need 2 distinct executors
+
+	e := NewExecutor(0, &keys[0])
+	var r Response
+	e.Emit = func(x Response) { r = x }
+	e.Apply(cv(&types.Block{Txs: [][]byte{raw}}))
+
+	if c.Add(r) != nil {
+		t.Fatal("accepted at 1")
+	}
+	if c.Add(r) != nil {
+		t.Fatal("duplicate executor counted twice")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	a := NewExecutor(0, nil)
+	for i := 0; i < 30; i++ {
+		a.Apply(cv(mkBlock(
+			Tx{Op: OpSet, Key: []byte(fmt.Sprintf("k%d", i%5)), Value: []byte(fmt.Sprintf("v%d", i))},
+		)))
+	}
+	snap := a.Snapshot()
+	if root, ok := SnapshotRoot(snap); !ok || root != a.StateRoot() {
+		t.Fatal("snapshot root mismatch")
+	}
+
+	// A fresh executor restores and continues identically.
+	b := NewExecutor(1, nil)
+	if !b.Restore(snap) {
+		t.Fatal("restore failed")
+	}
+	if b.StateRoot() != a.StateRoot() || b.Executed != a.Executed || b.Len() != a.Len() {
+		t.Fatal("restored state differs")
+	}
+	next := mkBlock(Tx{Op: OpGet, Key: []byte("k2")})
+	a.Apply(cv(next))
+	b.Apply(cv(next))
+	if a.StateRoot() != b.StateRoot() {
+		t.Fatal("post-restore divergence")
+	}
+	if v, _ := b.Get([]byte("k2")); len(v) == 0 {
+		t.Fatal("restored value missing")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() *Executor {
+		e := NewExecutor(0, nil)
+		e.Apply(cv(mkBlock(
+			Tx{Op: OpSet, Key: []byte("b"), Value: []byte("2")},
+			Tx{Op: OpSet, Key: []byte("a"), Value: []byte("1")},
+			Tx{Op: OpSet, Key: []byte("c"), Value: []byte("3")},
+		)))
+		return e
+	}
+	if !bytes.Equal(mk().Snapshot(), mk().Snapshot()) {
+		t.Fatal("snapshot not deterministic")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	e := NewExecutor(0, nil)
+	e.Apply(cv(mkBlock(Tx{Op: OpSet, Key: []byte("x"), Value: []byte("1")})))
+	before := e.StateRoot()
+	for _, junk := range [][]byte{nil, {1, 2}, make([]byte, 33), append(e.Snapshot(), 0xFF)} {
+		if e.Restore(junk) {
+			t.Fatalf("restored garbage of len %d", len(junk))
+		}
+	}
+	if e.StateRoot() != before {
+		t.Fatal("failed restore mutated state")
+	}
+}

@@ -1,0 +1,273 @@
+// Package harness runs the paper's experiments on the simulated
+// geo-distributed deployment: it builds a cluster of consensus nodes over
+// internal/simnet with the Table 1 latency matrix, drives the synthetic
+// workload (k transactions of 512 bytes per proposal), and measures
+// throughput and commit latency exactly as Section 7 defines — latency is
+// the time from a transaction's creation to its commit at non-faulty nodes,
+// throughput is committed transactions per second.
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/mempool"
+	"clanbft/internal/simnet"
+	"clanbft/internal/types"
+)
+
+// Config is one experiment data point.
+type Config struct {
+	Mode core.Mode
+	N    int
+	// ClanSize sets the single clan's size (ModeSingleClan). Zero picks
+	// the paper's sizes for n in {50,100,150} or solves for 1e-6.
+	ClanSize int
+	// NumClans partitions the tribe (ModeMultiClan, default 2).
+	NumClans int
+	// LeadersPerRound enables multi-leader Sailfish (default 1).
+	LeadersPerRound int
+
+	// TxPerProposal transactions of TxSize bytes per proposal.
+	TxPerProposal int
+	TxSize        int // default 512
+
+	// Warmup is excluded from measurement; Measure is the sampled window.
+	Warmup  time.Duration // default 5 s
+	Measure time.Duration // default 15 s
+
+	Seed int64
+	// BandwidthBps is the effective sustained per-node goodput. Default
+	// 2e9: the e2-standard-32 line rate is 16 Gbps, but sustained
+	// cross-region TCP goodput (window scaling, congestion control,
+	// framing, GCP inter-region throttling) lands far below it; 2 Gbps
+	// reproduces the paper's saturation region. Set 16e9 to model raw
+	// line rate.
+	BandwidthBps float64
+	// PerFlowWindow caps each TCP flow at window/RTT (default 2.5 MiB,
+	// typical Linux autotuned sender window). <0 disables.
+	PerFlowWindow int
+	RoundTimeout  time.Duration // default 10 s (never fires failure-free)
+	// CheckSigs enables real cryptography (slow; simulations rely on the
+	// modeled CPU costs instead).
+	CheckSigs bool
+	// Regions overrides the even 5-region split.
+	Regions []int
+}
+
+// Result is one experiment outcome.
+type Result struct {
+	Mode          core.Mode
+	N             int
+	ClanSize      int
+	NumClans      int
+	TxPerProposal int
+
+	TPS        float64       // committed transactions per second
+	AvgLatency time.Duration // creation -> commit, averaged over nodes
+	P50Latency time.Duration
+	P95Latency time.Duration
+	MaxLatency time.Duration
+	Rounds     int // rounds completed by node 0
+	OrderedTxs int
+
+	// Wire accounting over the full run (all nodes, all kinds).
+	TotalBytes  uint64
+	BytesByKind map[types.MsgKind]uint64
+	MsgsByKind  map[types.MsgKind]uint64
+	BytesPerSec float64
+}
+
+// PaperClanSize returns the clan sizes used in Section 7 (failure
+// probability 1e-6): 32, 60, 80 for n = 50, 100, 150; other system sizes
+// fall back to the exact strict-convention minimum.
+func PaperClanSize(n int) int {
+	switch n {
+	case 50:
+		return 32
+	case 100:
+		return 60
+	case 150:
+		return 80
+	}
+	f := committee.MaxFaulty(n)
+	return committee.MinClanSizeStrict(n, f, committee.RatFromFloat(1e-6))
+}
+
+func (c *Config) fill() {
+	if c.TxSize == 0 {
+		c.TxSize = 512
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5 * time.Second
+	}
+	if c.Measure == 0 {
+		c.Measure = 15 * time.Second
+	}
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 2e9
+	}
+	if c.PerFlowWindow == 0 {
+		c.PerFlowWindow = 2_621_440 // 2.5 MiB
+	} else if c.PerFlowWindow < 0 {
+		c.PerFlowWindow = 0
+	}
+	if c.RoundTimeout == 0 {
+		c.RoundTimeout = 10 * time.Second
+	}
+	if c.Mode == core.ModeSingleClan && c.ClanSize == 0 {
+		c.ClanSize = PaperClanSize(c.N)
+	}
+	if c.Mode == core.ModeMultiClan && c.NumClans == 0 {
+		c.NumClans = 2
+	}
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(cfg Config) Result {
+	cfg.fill()
+	regions := cfg.Regions
+	if regions == nil {
+		regions = simnet.EvenRegions(cfg.N, 5)
+	}
+	net := simnet.New(simnet.Config{
+		N:             cfg.N,
+		Regions:       regions,
+		BandwidthBps:  cfg.BandwidthBps,
+		PerFlowWindow: cfg.PerFlowWindow,
+		Seed:          cfg.Seed + 1,
+		BatchWindow:   2 * time.Millisecond,
+	})
+	keys := crypto.GenerateKeys(cfg.N, uint64(cfg.Seed)+99)
+	reg := crypto.NewRegistry(keys, cfg.CheckSigs)
+	// e2-standard-32: 32 vCPUs; parallelizable verification work scales
+	// across ~16 physical cores (paper Section 7 implementation notes).
+	costs := crypto.DefaultCosts().Parallel(16)
+
+	var clans [][]types.NodeID
+	clanSize := 0
+	switch cfg.Mode {
+	case core.ModeSingleClan:
+		clans = [][]types.NodeID{committee.BalancedClan(regions, cfg.ClanSize, cfg.Seed+7)}
+		clanSize = cfg.ClanSize
+	case core.ModeMultiClan:
+		clans = committee.BalancedPartition(regions, cfg.NumClans, cfg.Seed+7)
+		clanSize = len(clans[0])
+	}
+
+	type sample struct {
+		latSum   time.Duration
+		latMax   time.Duration
+		latCount int
+		txs      int
+		lats     []time.Duration // bounded reservoir for percentiles
+	}
+	samples := make([]sample, cfg.N)
+	measureStart := cfg.Warmup
+	measureEnd := cfg.Warmup + cfg.Measure
+
+	nodes := make([]*core.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		id := types.NodeID(i)
+		clk := net.Clock(id)
+		nodes[i] = core.New(core.Config{
+			Self:            id,
+			N:               cfg.N,
+			Mode:            cfg.Mode,
+			Clans:           clans,
+			Key:             &keys[i],
+			Reg:             reg,
+			Costs:           costs,
+			Blocks:          mempool.NewGenerator(id, cfg.TxPerProposal, cfg.TxSize, true),
+			LeadersPerRound: cfg.LeadersPerRound,
+			RoundTimeout:    cfg.RoundTimeout,
+			GCDepth:         16,
+			Deliver: func(cv core.CommittedVertex) {
+				v := cv.Vertex
+				if v.BlockDigest.IsZero() {
+					return
+				}
+				now := clk.Now()
+				if now < measureStart || now > measureEnd {
+					return
+				}
+				// Every node observes the commit of every vertex (the
+				// digest is global); latency needs the creation stamp,
+				// which clan members have via the block. Count
+				// throughput once per node from vertex metadata via
+				// the block when held; nodes without the block count
+				// via the proposer's generator parameters.
+				s := &samples[i]
+				if cv.Block != nil {
+					lat := now - time.Duration(cv.Block.CreatedAt)
+					s.latSum += lat
+					if lat > s.latMax {
+						s.latMax = lat
+					}
+					s.latCount++
+					if len(s.lats) < 4096 {
+						s.lats = append(s.lats, lat)
+					}
+					s.txs += cv.Block.TxCount()
+				} else {
+					// Outside the proposer's clan: the payload size
+					// is protocol-fixed in this workload.
+					s.txs += cfg.TxPerProposal
+				}
+			},
+		}, net.Endpoint(id), clk)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	net.RunUntil(measureEnd)
+
+	res := Result{
+		Mode:          cfg.Mode,
+		N:             cfg.N,
+		ClanSize:      clanSize,
+		NumClans:      cfg.NumClans,
+		TxPerProposal: cfg.TxPerProposal,
+		Rounds:        int(nodes[0].Round()),
+		BytesByKind:   map[types.MsgKind]uint64{},
+		MsgsByKind:    map[types.MsgKind]uint64{},
+	}
+	for k, v := range net.TotalBytes() {
+		res.BytesByKind[k] = v
+		res.TotalBytes += v
+	}
+	for k, v := range net.TotalMsgs() {
+		res.MsgsByKind[k] = v
+	}
+	res.BytesPerSec = float64(res.TotalBytes) / net.Now().Seconds()
+
+	// Throughput: committed txs in the window at a reference node
+	// (identical at every node by total order); average latency across all
+	// nodes that observed payloads.
+	var latSum time.Duration
+	latCount := 0
+	var all []time.Duration
+	for i := range samples {
+		latSum += samples[i].latSum
+		latCount += samples[i].latCount
+		if samples[i].latMax > res.MaxLatency {
+			res.MaxLatency = samples[i].latMax
+		}
+		all = append(all, samples[i].lats...)
+	}
+	if latCount > 0 {
+		res.AvgLatency = latSum / time.Duration(latCount)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50Latency = all[len(all)/2]
+		res.P95Latency = all[len(all)*95/100]
+	}
+	res.OrderedTxs = samples[0].txs
+	res.TPS = float64(res.OrderedTxs) / cfg.Measure.Seconds()
+	return res
+}

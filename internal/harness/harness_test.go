@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clanbft/internal/core"
+)
+
+func TestFigure1RowsMatchPaperShape(t *testing.T) {
+	rows := Figure1()
+	if len(rows) != 19 { // 100..1000 step 50
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].N != 100 || rows[len(rows)-1].N != 1000 {
+		t.Fatalf("range wrong: %d..%d", rows[0].N, rows[len(rows)-1].N)
+	}
+	// Figure 1's visible anchors: ~65-70 at n=100, ~183 at n=500,
+	// ~225-231 at n=1000, all below the tribe's size and all satisfying
+	// the 1e-9 bound.
+	for _, r := range rows {
+		if r.FailureProb > 1e-9 {
+			t.Fatalf("n=%d: failure prob %g exceeds bound", r.N, r.FailureProb)
+		}
+		if r.ClanSize >= r.N {
+			t.Fatalf("n=%d: clan not smaller than tribe", r.N)
+		}
+	}
+	anchor := func(n, lo, hi int) {
+		for _, r := range rows {
+			if r.N == n {
+				if r.ClanSize < lo || r.ClanSize > hi {
+					t.Fatalf("n=%d: clan %d outside [%d,%d]", n, r.ClanSize, lo, hi)
+				}
+				return
+			}
+		}
+		t.Fatalf("n=%d missing", n)
+	}
+	anchor(100, 60, 70)
+	anchor(500, 180, 186)
+	anchor(1000, 225, 235)
+}
+
+func TestSection62NumbersMatchPaper(t *testing.T) {
+	two, three := Section62Numbers()
+	if two < 3.9e-6 || two > 4.1e-6 {
+		t.Fatalf("2-clan: %g, paper 4.015e-6", two)
+	}
+	if three < 1.0e-6 || three > 1.2e-6 {
+		t.Fatalf("3-clan: %g, paper 1.11e-6", three)
+	}
+}
+
+func TestPaperClanSizeTable(t *testing.T) {
+	for n, want := range map[int]int{50: 32, 100: 60, 150: 80} {
+		if got := PaperClanSize(n); got != want {
+			t.Fatalf("PaperClanSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Other sizes fall back to the solver.
+	if got := PaperClanSize(60); got <= 0 || got >= 60 {
+		t.Fatalf("PaperClanSize(60) = %d", got)
+	}
+}
+
+// TestShapeSingleClanBeatsBaselineUnderLoad is the paper's headline claim at
+// test scale: under heavy payload, single-clan Sailfish sustains strictly
+// higher throughput than baseline Sailfish.
+func TestShapeSingleClanBeatsBaselineUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	// Figure 5a's deep-saturation point: n=50, clan 32, 6000 txs/proposal.
+	// At smaller n the clan is a large fraction of the tribe and the
+	// advantage is marginal — scale is the point of the technique.
+	run := func(mode core.Mode) Result {
+		return Run(Config{
+			Mode: mode, N: 50, TxPerProposal: 6000,
+			Warmup: 3 * time.Second, Measure: 8 * time.Second, Seed: 3,
+		})
+	}
+	base := run(core.ModeBaseline)
+	clan := run(core.ModeSingleClan)
+	if clan.TPS <= base.TPS {
+		t.Fatalf("single-clan %.0f tps <= baseline %.0f tps under load", clan.TPS, base.TPS)
+	}
+	t.Logf("n=50 @6000tx: baseline=%.0f tps (%.0fms), single-clan=%.0f tps (%.0fms)",
+		base.TPS, float64(base.AvgLatency.Milliseconds()),
+		clan.TPS, float64(clan.AvgLatency.Milliseconds()))
+}
+
+// TestShapeMultiClanDoublesSingleClan: at matched clan sizes, two clans give
+// roughly twice the single-clan throughput at the same per-proposal load
+// (Figure 6's observation).
+func TestShapeMultiClanDoublesSingleClan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	single := Run(Config{
+		Mode: core.ModeSingleClan, N: 30, ClanSize: 15, TxPerProposal: 1000,
+		Warmup: 3 * time.Second, Measure: 8 * time.Second, Seed: 3,
+	})
+	multi := Run(Config{
+		Mode: core.ModeMultiClan, N: 30, NumClans: 2, TxPerProposal: 1000,
+		Warmup: 3 * time.Second, Measure: 8 * time.Second, Seed: 3,
+	})
+	ratio := multi.TPS / single.TPS
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("multi/single throughput ratio %.2f, want ~2", ratio)
+	}
+	t.Logf("single=%.0f multi=%.0f ratio=%.2f", single.TPS, multi.TPS, ratio)
+}
+
+func TestCommComplexityAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	rows := CommComplexity(20, 500, 1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base, single, multi := rows[0], rows[1], rows[2]
+	// Payload accounting: baseline replicates to everyone, single-clan to
+	// the clan only; the measured reduction must be at least (n_c/n)
+	// accounting for proposer reduction too: bound ratio ~ (nc^2)/(n^2).
+	if single.PayloadBytes >= base.PayloadBytes {
+		t.Fatal("single-clan payload not reduced")
+	}
+	if multi.PayloadBytes >= base.PayloadBytes {
+		t.Fatal("multi-clan payload not reduced")
+	}
+	// Measured payload stays within ~1.5x of the analytic bound (pulls
+	// and retransmissions add a little).
+	for _, r := range rows {
+		ratio := float64(r.PayloadBytes) / float64(r.PayloadBound)
+		if ratio > 1.5 {
+			t.Fatalf("%v payload %.2fx over analytic bound", r.Mode, ratio)
+		}
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var sb strings.Builder
+	PrintFigure1(&sb)
+	if !strings.Contains(sb.String(), "Figure 1") {
+		t.Fatal("figure 1 printer broken")
+	}
+	sb.Reset()
+	PrintTable1(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "us-east1") || !strings.Contains(out, "114.75") {
+		t.Fatalf("table 1 printer broken:\n%s", out)
+	}
+	sb.Reset()
+	PrintSweep(&sb, "test", []Result{{Mode: core.ModeSingleClan, N: 50, ClanSize: 32, TxPerProposal: 100, TPS: 5, AvgLatency: time.Second}})
+	if !strings.Contains(sb.String(), "single-clan") {
+		t.Fatal("sweep printer broken")
+	}
+	sb.Reset()
+	PrintComm(&sb, []CommRow{{Mode: core.ModeBaseline, N: 10, ClanSize: 10, PayloadBytes: 10, PayloadBound: 10, ControlBytes: 1}})
+	if !strings.Contains(sb.String(), "payload") {
+		t.Fatal("comm printer broken")
+	}
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"clanbft/internal/core"
+)
+
+func TestSmokeSmall(t *testing.T) {
+	r := Run(Config{
+		Mode: core.ModeBaseline, N: 10, TxPerProposal: 100,
+		Warmup: 2 * time.Second, Measure: 5 * time.Second, Seed: 1,
+	})
+	t.Logf("n=10 baseline: tps=%.0f lat=%v rounds=%d bytes=%d", r.TPS, r.AvgLatency, r.Rounds, r.TotalBytes)
+	if r.TPS <= 0 || r.Rounds < 5 {
+		t.Fatalf("no progress: %+v", r)
+	}
+}
+
+func TestPercentilesPopulated(t *testing.T) {
+	r := Run(Config{
+		Mode: core.ModeBaseline, N: 8, TxPerProposal: 50,
+		Warmup: 2 * time.Second, Measure: 4 * time.Second, Seed: 2,
+	})
+	if r.P50Latency == 0 || r.P95Latency == 0 {
+		t.Fatalf("percentiles missing: p50=%v p95=%v", r.P50Latency, r.P95Latency)
+	}
+	if r.P50Latency > r.P95Latency || r.P95Latency > r.MaxLatency {
+		t.Fatalf("percentile ordering broken: p50=%v p95=%v max=%v",
+			r.P50Latency, r.P95Latency, r.MaxLatency)
+	}
+	if r.AvgLatency == 0 || r.AvgLatency > r.MaxLatency {
+		t.Fatalf("avg out of range: %v (max %v)", r.AvgLatency, r.MaxLatency)
+	}
+}

@@ -1,0 +1,115 @@
+// Package mempool supplies transaction payloads to proposers: a synthetic
+// workload generator matching the paper's evaluation setup (a configurable
+// number of 512-byte transactions per proposal) and a client-facing pool for
+// applications that submit real transactions.
+package mempool
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"clanbft/internal/types"
+)
+
+// Generator implements core.BlockSource with a fixed-rate synthetic
+// workload: TxPerProposal transactions of TxSize bytes per block, exactly
+// like the paper's load generator. With Synthetic=true the payload bytes are
+// modeled rather than materialized, which is what the large-scale simulated
+// experiments use; with Synthetic=false real random-ish bytes are produced.
+type Generator struct {
+	ID            types.NodeID
+	TxPerProposal int
+	TxSize        int
+	Synthetic     bool
+	seq           uint64
+}
+
+// NewGenerator builds a generator for one proposer.
+func NewGenerator(id types.NodeID, txPerProposal, txSize int, synthetic bool) *Generator {
+	return &Generator{ID: id, TxPerProposal: txPerProposal, TxSize: txSize, Synthetic: synthetic}
+}
+
+// NextBlock produces the next proposal payload. Returns nil when the
+// generator is configured for zero transactions.
+func (g *Generator) NextBlock(r types.Round) *types.Block {
+	if g.TxPerProposal <= 0 {
+		return nil
+	}
+	g.seq++
+	if g.Synthetic {
+		return &types.Block{
+			SynthCount: uint32(g.TxPerProposal),
+			SynthSize:  uint32(g.TxSize),
+			SynthSeed:  g.seq<<16 | uint64(g.ID),
+		}
+	}
+	b := &types.Block{}
+	for i := 0; i < g.TxPerProposal; i++ {
+		tx := make([]byte, g.TxSize)
+		binary.LittleEndian.PutUint64(tx, g.seq)
+		if len(tx) >= 12 {
+			binary.LittleEndian.PutUint16(tx[8:], uint16(g.ID))
+			binary.LittleEndian.PutUint16(tx[10:], uint16(i))
+		}
+		// Cheap deterministic filler so payloads are not all zeroes.
+		for j := 12; j < len(tx); j++ {
+			tx[j] = byte(j*31 + i*7 + int(g.seq))
+		}
+		b.Txs = append(b.Txs, tx)
+	}
+	return b
+}
+
+// Pool is a thread-safe transaction queue for applications: clients Submit
+// transactions, the proposer drains up to MaxPerBlock of them per round.
+// Pool implements core.BlockSource.
+type Pool struct {
+	mu          sync.Mutex
+	queue       [][]byte
+	MaxPerBlock int
+	// Submitted counts all accepted transactions.
+	Submitted int
+}
+
+// NewPool creates a pool draining at most maxPerBlock transactions per
+// proposal (default 1000 if zero).
+func NewPool(maxPerBlock int) *Pool {
+	if maxPerBlock <= 0 {
+		maxPerBlock = 1000
+	}
+	return &Pool{MaxPerBlock: maxPerBlock}
+}
+
+// Submit enqueues one transaction. The byte slice is retained; callers must
+// not mutate it afterwards.
+func (p *Pool) Submit(tx []byte) {
+	p.mu.Lock()
+	p.queue = append(p.queue, tx)
+	p.Submitted++
+	p.mu.Unlock()
+}
+
+// Len returns the number of queued transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// NextBlock drains up to MaxPerBlock queued transactions. Returns nil when
+// the pool is empty (an empty proposal keeps the DAG advancing without
+// payload overhead).
+func (p *Pool) NextBlock(r types.Round) *types.Block {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		return nil
+	}
+	n := len(p.queue)
+	if n > p.MaxPerBlock {
+		n = p.MaxPerBlock
+	}
+	b := &types.Block{Txs: p.queue[:n:n]}
+	p.queue = p.queue[n:]
+	return b
+}

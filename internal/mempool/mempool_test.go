@@ -1,0 +1,121 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+
+	"clanbft/internal/types"
+)
+
+func TestGeneratorReal(t *testing.T) {
+	g := NewGenerator(3, 100, 512, false)
+	b1 := g.NextBlock(1)
+	if b1.TxCount() != 100 || b1.PayloadBytes() != 100*512 {
+		t.Fatalf("count=%d bytes=%d", b1.TxCount(), b1.PayloadBytes())
+	}
+	if b1.IsSynthetic() {
+		t.Fatal("real generator produced synthetic block")
+	}
+	b2 := g.NextBlock(2)
+	if b1.Digest() == b2.Digest() {
+		t.Fatal("consecutive blocks identical")
+	}
+	// Transactions are distinct within a block.
+	seen := map[string]bool{}
+	for _, tx := range b1.Txs {
+		if seen[string(tx)] {
+			t.Fatal("duplicate tx in block")
+		}
+		seen[string(tx)] = true
+		if len(tx) != 512 {
+			t.Fatalf("tx size %d", len(tx))
+		}
+	}
+}
+
+func TestGeneratorSynthetic(t *testing.T) {
+	g := NewGenerator(1, 6000, 512, true)
+	b := g.NextBlock(5)
+	if !b.IsSynthetic() || b.TxCount() != 6000 || b.PayloadBytes() != 6000*512 {
+		t.Fatalf("bad synthetic block: %+v", b)
+	}
+	if len(b.Txs) != 0 {
+		t.Fatal("synthetic block materialized payload")
+	}
+	b2 := g.NextBlock(6)
+	if b.Digest() == b2.Digest() {
+		t.Fatal("synthetic blocks identical across rounds")
+	}
+	// Different generators produce different payload identities.
+	h := NewGenerator(2, 6000, 512, true)
+	if h.NextBlock(5).Digest() == NewGenerator(1, 6000, 512, true).NextBlock(5).Digest() {
+		t.Fatal("seeding does not separate proposers")
+	}
+}
+
+func TestGeneratorZeroLoad(t *testing.T) {
+	g := NewGenerator(1, 0, 512, false)
+	if g.NextBlock(1) != nil {
+		t.Fatal("zero-load generator produced a block")
+	}
+}
+
+func TestPoolDrain(t *testing.T) {
+	p := NewPool(3)
+	if p.NextBlock(1) != nil {
+		t.Fatal("empty pool produced a block")
+	}
+	for i := 0; i < 7; i++ {
+		p.Submit([]byte{byte(i)})
+	}
+	if p.Len() != 7 || p.Submitted != 7 {
+		t.Fatalf("len=%d submitted=%d", p.Len(), p.Submitted)
+	}
+	var got []byte
+	for r := types.Round(0); ; r++ {
+		b := p.NextBlock(r)
+		if b == nil {
+			break
+		}
+		if len(b.Txs) > 3 {
+			t.Fatalf("block exceeded max: %d", len(b.Txs))
+		}
+		for _, tx := range b.Txs {
+			got = append(got, tx[0])
+		}
+	}
+	if len(got) != 7 {
+		t.Fatalf("drained %d", len(got))
+	}
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatal("FIFO order broken")
+		}
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				p.Submit([]byte{1})
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for {
+		b := p.NextBlock(0)
+		if b == nil {
+			break
+		}
+		total += len(b.Txs)
+	}
+	if total != 1000 {
+		t.Fatalf("drained %d, want 1000", total)
+	}
+}

@@ -1,0 +1,529 @@
+// Package store provides the embedded persistent key-value store that
+// clanbft nodes use for consensus state (delivered vertices, blocks,
+// certificates). It stands in for the RocksDB instance the paper's
+// implementation uses: what consensus needs from the store is durable atomic
+// write batches, point reads (the paper notes per-vertex parent-lookup reads
+// contribute to latency at n=150), prefix scans, and crash recovery — all of
+// which are provided here with a write-ahead log plus in-memory table.
+//
+// Layout: a single append-only WAL file of CRC-framed records. Each record
+// is either a single Put/Delete or an atomic batch. On open the WAL is
+// replayed; a torn tail (partial last record, e.g. after a crash) is
+// detected by CRC and truncated. Compact() writes a point-in-time snapshot
+// to a fresh WAL and atomically swaps it in, bounding disk usage.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the interface consumed by consensus code. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// Put stores value under key, overwriting any previous value.
+	Put(key, value []byte) error
+	// Get returns the value for key and whether it exists.
+	Get(key []byte) ([]byte, bool, error)
+	// Delete removes key; deleting a missing key is a no-op.
+	Delete(key []byte) error
+	// Apply atomically applies a batch of writes.
+	Apply(b *Batch) error
+	// Scan calls fn for each key with the given prefix in ascending key
+	// order; fn returning false stops the scan.
+	Scan(prefix []byte, fn func(key, value []byte) bool) error
+	// Len returns the number of live keys.
+	Len() int
+	// Close releases resources, flushing pending writes.
+	Close() error
+}
+
+// Batch accumulates writes that are applied atomically.
+type Batch struct {
+	ops []op
+}
+
+type op struct {
+	del   bool
+	key   []byte
+	value []byte
+}
+
+// Put adds a write to the batch.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, op{key: cp(key), value: cp(value)})
+}
+
+// Delete adds a deletion to the batch.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, op{del: true, key: cp(key)})
+}
+
+// Len returns the number of buffered operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+func cp(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation (used by simulations and tests).
+
+// Mem is a purely in-memory Store.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{m: map[string][]byte{}} }
+
+func (s *Mem) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[string(key)] = cp(value)
+	return nil
+}
+
+func (s *Mem) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	return cp(v), true, nil
+}
+
+func (s *Mem) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, string(key))
+	return nil
+}
+
+func (s *Mem) Apply(b *Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range b.ops {
+		if o.del {
+			delete(s.m, string(o.key))
+		} else {
+			s.m[string(o.key)] = cp(o.value)
+		}
+	}
+	return nil
+}
+
+func (s *Mem) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	p := string(prefix)
+	for k := range s.m {
+		if strings.HasPrefix(k, p) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.mu.RLock()
+		v, ok := s.m[k]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn([]byte(k), cp(v)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+func (s *Mem) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Disk implementation.
+
+const (
+	recPut   byte = 1
+	recDel   byte = 2
+	recBatch byte = 3
+
+	walName = "clanbft.wal"
+)
+
+// Disk is a WAL-backed Store.
+type Disk struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	m       map[string][]byte
+	walSize int64
+	// CompactAt triggers Compact when the WAL exceeds this many bytes and
+	// the live data is under half of it. Zero disables auto-compaction.
+	CompactAt int64
+	liveBytes int64
+	syncEvery bool
+}
+
+// Options configures a Disk store.
+type Options struct {
+	// SyncEvery fsyncs after every record; slower but strongest
+	// durability. Off by default (matching RocksDB's default WAL mode).
+	SyncEvery bool
+	// CompactAt bounds WAL growth; default 64 MiB.
+	CompactAt int64
+}
+
+// Open opens (creating if needed) a disk store in dir, replaying its WAL.
+func Open(dir string, opts Options) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.CompactAt == 0 {
+		opts.CompactAt = 64 << 20
+	}
+	s := &Disk{
+		dir:       dir,
+		m:         map[string][]byte{},
+		CompactAt: opts.CompactAt,
+		syncEvery: opts.SyncEvery,
+	}
+	path := filepath.Join(dir, walName)
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	s.walSize = st.Size()
+	return s, nil
+}
+
+// replay loads the WAL into the memtable, truncating a torn tail.
+func (s *Disk) replay(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var off int64
+	hdr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			break // clean EOF or torn header: truncate here
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:])
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		if n > 1<<30 {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(f, body); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		if err := s.applyRecord(body); err != nil {
+			return fmt.Errorf("store: corrupt record at %d: %w", off, err)
+		}
+		off += 8 + int64(n)
+	}
+	// Truncate anything past the last valid record so appends are clean.
+	return os.Truncate(path, off)
+}
+
+func (s *Disk) applyRecord(body []byte) error {
+	if len(body) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	switch body[0] {
+	case recPut:
+		k, v, err := decodeKV(body[1:])
+		if err != nil {
+			return err
+		}
+		s.memPut(k, v)
+	case recDel:
+		k, _, err := decodeKV(body[1:])
+		if err != nil {
+			return err
+		}
+		s.memDel(k)
+	case recBatch:
+		rest := body[1:]
+		for len(rest) > 0 {
+			if len(rest) < 1 {
+				return fmt.Errorf("short batch op")
+			}
+			del := rest[0] == recDel
+			var k, v []byte
+			var err error
+			k, v, rest, err = decodeKVRest(rest[1:])
+			if err != nil {
+				return err
+			}
+			if del {
+				s.memDel(k)
+			} else {
+				s.memPut(k, v)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown record type %d", body[0])
+	}
+	return nil
+}
+
+func (s *Disk) memPut(k, v []byte) {
+	key := string(k)
+	if old, ok := s.m[key]; ok {
+		s.liveBytes -= int64(len(key) + len(old))
+	}
+	s.m[key] = cp(v)
+	s.liveBytes += int64(len(key) + len(v))
+}
+
+func (s *Disk) memDel(k []byte) {
+	key := string(k)
+	if old, ok := s.m[key]; ok {
+		s.liveBytes -= int64(len(key) + len(old))
+		delete(s.m, key)
+	}
+}
+
+func encodeKV(buf []byte, k, v []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(k)))
+	buf = append(buf, k...)
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+func decodeKV(b []byte) (k, v []byte, err error) {
+	k, v, rest, err := decodeKVRest(b)
+	if err == nil && len(rest) != 0 {
+		return nil, nil, fmt.Errorf("trailing bytes in record")
+	}
+	return k, v, err
+}
+
+func decodeKVRest(b []byte) (k, v, rest []byte, err error) {
+	kl, n := binary.Uvarint(b)
+	if n <= 0 || kl > uint64(len(b)-n) {
+		return nil, nil, nil, fmt.Errorf("bad key length")
+	}
+	b = b[n:]
+	k = b[:kl]
+	b = b[kl:]
+	vl, n := binary.Uvarint(b)
+	if n <= 0 || vl > uint64(len(b)-n) {
+		return nil, nil, nil, fmt.Errorf("bad value length")
+	}
+	b = b[n:]
+	return k, b[:vl], b[vl:], nil
+}
+
+func (s *Disk) append(body []byte) error {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
+	if _, err := s.f.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := s.f.Write(body); err != nil {
+		return err
+	}
+	s.walSize += int64(8 + len(body))
+	if s.syncEvery {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if s.CompactAt > 0 && s.walSize > s.CompactAt && s.liveBytes*2 < s.walSize {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+func (s *Disk) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body := append([]byte{recPut}, encodeKV(nil, key, value)...)
+	if err := s.append(body); err != nil {
+		return err
+	}
+	s.memPut(key, value)
+	return nil
+}
+
+func (s *Disk) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body := append([]byte{recDel}, encodeKV(nil, key, nil)...)
+	if err := s.append(body); err != nil {
+		return err
+	}
+	s.memDel(key)
+	return nil
+}
+
+func (s *Disk) Apply(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body := []byte{recBatch}
+	for _, o := range b.ops {
+		if o.del {
+			body = append(body, recDel)
+			body = encodeKV(body, o.key, nil)
+		} else {
+			body = append(body, recPut)
+			body = encodeKV(body, o.key, o.value)
+		}
+	}
+	if err := s.append(body); err != nil {
+		return err
+	}
+	for _, o := range b.ops {
+		if o.del {
+			s.memDel(o.key)
+		} else {
+			s.memPut(o.key, o.value)
+		}
+	}
+	return nil
+}
+
+func (s *Disk) Get(key []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[string(key)]
+	if !ok {
+		return nil, false, nil
+	}
+	return cp(v), true, nil
+}
+
+func (s *Disk) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	s.mu.Lock()
+	p := string(prefix)
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		if strings.HasPrefix(k, p) {
+			keys = append(keys, k)
+		}
+	}
+	vals := make([][]byte, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		vals[i] = cp(s.m[k])
+	}
+	s.mu.Unlock()
+	for i, k := range keys {
+		if !fn([]byte(k), vals[i]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Disk) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Compact rewrites the WAL as a snapshot of the live table.
+func (s *Disk) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Disk) compactLocked() error {
+	tmpPath := filepath.Join(s.dir, walName+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	var size int64
+	hdr := make([]byte, 8)
+	for k, v := range s.m {
+		body := append([]byte{recPut}, encodeKV(nil, []byte(k), v)...)
+		binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(body))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
+		if _, err := tmp.Write(hdr); err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(body); err != nil {
+			tmp.Close()
+			return err
+		}
+		size += int64(8 + len(body))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, walName)
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.walSize = size
+	return nil
+}
+
+func (s *Disk) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

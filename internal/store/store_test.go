@@ -1,0 +1,334 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// both runs a subtest against the memory and disk implementations.
+func both(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Run("mem", func(t *testing.T) { fn(t, NewMem()) })
+	t.Run("disk", func(t *testing.T) {
+		s, err := Open(t.TempDir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		fn(t, s)
+	})
+}
+
+func TestPutGetDelete(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		if _, ok, _ := s.Get([]byte("a")); ok {
+			t.Fatal("phantom key")
+		}
+		if err := s.Put([]byte("a"), []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := s.Get([]byte("a"))
+		if err != nil || !ok || string(v) != "1" {
+			t.Fatalf("get: %q %v %v", v, ok, err)
+		}
+		if err := s.Put([]byte("a"), []byte("2")); err != nil {
+			t.Fatal(err)
+		}
+		v, _, _ = s.Get([]byte("a"))
+		if string(v) != "2" {
+			t.Fatalf("overwrite failed: %q", v)
+		}
+		if err := s.Delete([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.Get([]byte("a")); ok {
+			t.Fatal("delete failed")
+		}
+		if err := s.Delete([]byte("missing")); err != nil {
+			t.Fatal("deleting missing key must be a no-op")
+		}
+		if s.Len() != 0 {
+			t.Fatalf("len = %d", s.Len())
+		}
+	})
+}
+
+func TestBatchAtomic(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		s.Put([]byte("x"), []byte("old"))
+		var b Batch
+		b.Put([]byte("k1"), []byte("v1"))
+		b.Put([]byte("k2"), []byte("v2"))
+		b.Delete([]byte("x"))
+		if err := s.Apply(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := s.Get([]byte("x")); ok {
+			t.Fatal("batch delete missed")
+		}
+		for _, k := range []string{"k1", "k2"} {
+			if _, ok, _ := s.Get([]byte(k)); !ok {
+				t.Fatalf("batch put %s missed", k)
+			}
+		}
+		// Empty batch is a no-op.
+		if err := s.Apply(&Batch{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestScanPrefixOrder(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		keys := []string{"v/3", "v/1", "v/2", "b/9", "v/10"}
+		for _, k := range keys {
+			s.Put([]byte(k), []byte(k))
+		}
+		var got []string
+		s.Scan([]byte("v/"), func(k, v []byte) bool {
+			if !bytes.Equal(k, v) {
+				t.Fatalf("value mismatch for %s", k)
+			}
+			got = append(got, string(k))
+			return true
+		})
+		want := []string{"v/1", "v/10", "v/2", "v/3"} // lexicographic
+		if len(got) != len(want) {
+			t.Fatalf("scan got %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("scan order %v, want %v", got, want)
+			}
+		}
+		// Early stop.
+		count := 0
+		s.Scan([]byte("v/"), func(k, v []byte) bool {
+			count++
+			return false
+		})
+		if count != 1 {
+			t.Fatalf("early stop visited %d", count)
+		}
+	})
+}
+
+func TestDiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("key%03d", i)), []byte(fmt.Sprintf("val%d", i)))
+	}
+	var b Batch
+	b.Put([]byte("batched"), []byte("yes"))
+	b.Delete([]byte("key050"))
+	s.Apply(&b)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 100 { // 100 puts + 1 batched - 1 deleted
+		t.Fatalf("recovered %d keys, want 100", s2.Len())
+	}
+	if _, ok, _ := s2.Get([]byte("key050")); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	v, ok, _ := s2.Get([]byte("batched"))
+	if !ok || string(v) != "yes" {
+		t.Fatal("batched write lost")
+	}
+}
+
+func TestDiskTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put([]byte("good"), []byte("1"))
+	s.Close()
+
+	// Simulate a crash mid-write: append garbage that fails CRC.
+	path := filepath.Join(dir, walName)
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3, 4, 5})
+	f.Close()
+	before, _ := os.Stat(path)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated, _ := os.Stat(path)
+	if truncated.Size() != before.Size()-5 {
+		t.Fatalf("torn tail not truncated: %d vs %d", truncated.Size(), before.Size())
+	}
+	if _, ok, _ := s2.Get([]byte("good")); !ok {
+		t.Fatal("valid prefix lost")
+	}
+	// New writes after recovery must survive another reopen.
+	s2.Put([]byte("after"), []byte("2"))
+	s2.Close()
+
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	for _, k := range []string{"good", "after"} {
+		if _, ok, _ := s3.Get([]byte(k)); !ok {
+			t.Fatalf("key %s lost after torn-tail recovery", k)
+		}
+	}
+}
+
+func TestDiskCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CompactAt: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the same keys repeatedly: live data stays small, WAL grows,
+	// auto-compaction must kick in.
+	val := make([]byte, 128)
+	for i := 0; i < 500; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i%8)), val)
+	}
+	st, _ := os.Stat(filepath.Join(dir, walName))
+	if st.Size() > 16*4096 {
+		t.Fatalf("WAL grew unboundedly: %d bytes", st.Size())
+	}
+	if s.Len() != 8 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 8 {
+		t.Fatalf("post-compaction recovery: len = %d", s2.Len())
+	}
+}
+
+func TestExplicitCompactPreservesData(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	for i := 0; i < 50; i++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.Delete([]byte("k25"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Writable after compaction.
+	s.Put([]byte("post"), []byte("1"))
+	s.Close()
+
+	s2, _ := Open(dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 50 {
+		t.Fatalf("len = %d, want 50", s2.Len())
+	}
+	if _, ok, _ := s2.Get([]byte("k25")); ok {
+		t.Fatal("deleted key in snapshot")
+	}
+	if _, ok, _ := s2.Get([]byte("post")); !ok {
+		t.Fatal("post-compaction write lost")
+	}
+}
+
+// TestStoreEquivalence property-tests that Disk behaves exactly like Mem
+// under a random operation sequence, including across a reopen.
+func TestStoreEquivalence(t *testing.T) {
+	f := func(ops []struct {
+		K, V uint8
+		Del  bool
+	}) bool {
+		dir, err := os.MkdirTemp("", "storeq")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		disk, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		mem := NewMem()
+		for _, o := range ops {
+			k := []byte{byte('a' + o.K%16)}
+			v := []byte{o.V}
+			if o.Del {
+				disk.Delete(k)
+				mem.Delete(k)
+			} else {
+				disk.Put(k, v)
+				mem.Put(k, v)
+			}
+		}
+		disk.Close()
+		disk, err = Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		defer disk.Close()
+		if disk.Len() != mem.Len() {
+			return false
+		}
+		equal := true
+		mem.Scan(nil, func(k, v []byte) bool {
+			dv, ok, _ := disk.Get(k)
+			if !ok || !bytes.Equal(dv, v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					k := []byte(fmt.Sprintf("g%d/k%d", g, i))
+					if err := s.Put(k, k); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, ok, err := s.Get(k); !ok || err != nil {
+						t.Errorf("lost own write %s", k)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if s.Len() != 800 {
+			t.Fatalf("len = %d, want 800", s.Len())
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package strawman implements the architecture the paper's introduction
+// argues AGAINST (Section 1, "A straw-man approach and further challenges",
+// and the Arete/Pando/Autobahn comparisons of Section 8): a *separate* data
+// dissemination layer in front of the consensus protocol.
+//
+// Each proposer pushes its payload to the clan and collects f_c+1 signed
+// acknowledgements — a proof of availability (PoA) guaranteeing at least one
+// honest clan member stores the data. The PoA (metadata only) then rides in
+// the proposer's next consensus vertex, and the payload is considered
+// committed when that vertex is totally ordered.
+//
+// The inherent cost is sequential latency: ~2δ to form the PoA, an average
+// ~1δ queuing until the next proposal, and the consensus commit latency on
+// top (3δ in Sailfish; 5δ in Jolteon-based Arete) — at least ~6δ end to end
+// versus 3δ for the paper's pipelined tribe-assisted RBC. This package
+// exists to measure exactly that gap (see the PoA-vs-merged latency test and
+// the Ablation bench), and doubles as a second, independently structured
+// consumer of the consensus engine.
+package strawman
+
+import (
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/transport"
+	"clanbft/internal/types"
+)
+
+// PoA is a proof of availability: f_c+1 clan members acknowledged storing
+// the payload with the given digest.
+type PoA struct {
+	Digest    types.Hash
+	Proposer  types.NodeID
+	Seq       uint64
+	CreatedAt int64 // creation time of the underlying payload (latency anchor)
+	Agg       types.AggSig
+}
+
+// Marshal encodes the PoA as a consensus "transaction".
+func (p *PoA) Marshal() []byte {
+	b := make([]byte, 0, 96)
+	b = append(b, p.Digest[:]...)
+	b = types.PutUvarint(b, uint64(p.Proposer))
+	b = types.PutUvarint(b, p.Seq)
+	b = types.PutUvarint(b, uint64(p.CreatedAt))
+	b = append(b, p.Agg.Tag[:]...)
+	b = types.PutUvarint(b, uint64(len(p.Agg.Bitmap)))
+	return append(b, p.Agg.Bitmap...)
+}
+
+// UnmarshalPoA decodes a PoA transaction.
+func UnmarshalPoA(b []byte) (*PoA, bool) {
+	p := &PoA{}
+	if len(b) < 32 {
+		return nil, false
+	}
+	copy(p.Digest[:], b[:32])
+	b = b[32:]
+	u, b, err := types.Uvarint(b)
+	if err != nil {
+		return nil, false
+	}
+	p.Proposer = types.NodeID(u)
+	if p.Seq, b, err = types.Uvarint(b); err != nil {
+		return nil, false
+	}
+	if u, b, err = types.Uvarint(b); err != nil {
+		return nil, false
+	}
+	p.CreatedAt = int64(u)
+	if len(b) < 32 {
+		return nil, false
+	}
+	copy(p.Agg.Tag[:], b[:32])
+	b = b[32:]
+	if u, b, err = types.Uvarint(b); err != nil || u > uint64(len(b)) {
+		return nil, false
+	}
+	p.Agg.Bitmap = append([]byte(nil), b[:u]...)
+	return p, true
+}
+
+// ackCtx is the signing context for a storage acknowledgement.
+func ackCtx(proposer types.NodeID, seq uint64, digest types.Hash) []byte {
+	b := make([]byte, 0, 48)
+	b = append(b, 'A')
+	b = types.PutUvarint(b, uint64(proposer))
+	b = types.PutUvarint(b, seq)
+	return append(b, digest[:]...)
+}
+
+// Config parameterizes the dissemination layer of one party.
+type Config struct {
+	Self types.NodeID
+	N    int
+	// Clan receives and stores payloads.
+	Clan  []types.NodeID
+	Key   *crypto.KeyPair
+	Reg   *crypto.Registry
+	Costs crypto.Costs
+	// Committed fires for each payload once its PoA has been totally
+	// ordered by consensus (the straw-man's commit point).
+	Committed func(p *PoA, payload *types.Block)
+}
+
+// Layer is the separate dissemination layer of one party. It produces
+// metadata blocks (queued PoAs) for the consensus engine through NextBlock —
+// it IS the consensus node's BlockSource — and consumes the engine's
+// unhandled messages via Handle.
+type Layer struct {
+	cfg    Config
+	ep     transport.Endpoint
+	clk    transport.Clock
+	inClan bool
+	fc     int
+
+	seq      uint64
+	pendAgg  map[uint64]*crypto.Aggregator // my in-flight dissemination acks
+	pendData map[uint64]*types.Block
+	pendDig  map[uint64]types.Hash
+	ready    []*PoA // PoAs awaiting inclusion in my next proposal
+
+	stored map[types.Hash]*types.Block // clan storage
+
+	// Metrics.
+	Disseminated int
+	PoAsFormed   int
+	Committed    int
+}
+
+// New creates the layer. Wire it to the consensus engine with:
+//
+//	layer := strawman.New(cfg, ep, clk)
+//	core.New(core.Config{Blocks: layer, OnUnhandled: layer.Handle, ...})
+func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Layer {
+	l := &Layer{
+		cfg:      cfg,
+		ep:       ep,
+		clk:      clk,
+		fc:       committee.ClanMaxFaulty(len(cfg.Clan)),
+		pendAgg:  map[uint64]*crypto.Aggregator{},
+		pendData: map[uint64]*types.Block{},
+		pendDig:  map[uint64]types.Hash{},
+		stored:   map[types.Hash]*types.Block{},
+	}
+	for _, id := range cfg.Clan {
+		if id == cfg.Self {
+			l.inClan = true
+		}
+	}
+	return l
+}
+
+// Disseminate pushes a payload to the clan and starts collecting its PoA.
+// Call from the node's serialized context (e.g. a timer).
+func (l *Layer) Disseminate(payload *types.Block) {
+	l.seq++
+	seq := l.seq
+	payload.Source = l.cfg.Self
+	if payload.CreatedAt == 0 {
+		payload.CreatedAt = int64(l.clk.Now())
+	}
+	l.clk.Charge(l.cfg.Costs.HashCost(payload.PayloadBytes()))
+	digest := payload.Digest()
+	l.pendAgg[seq] = crypto.NewAggregator(l.cfg.N)
+	l.pendData[seq] = payload
+	l.pendDig[seq] = digest
+	l.Disseminated++
+	msg := &types.BcastMsg{
+		K: types.KindBVal, Sender: l.cfg.Self, Seq: seq,
+		Digest: digest, HasData: true, Voter: l.cfg.Self,
+	}
+	if !payload.IsSynthetic() {
+		msg.Data = payload.Marshal(nil)
+	} else {
+		msg.SynthSize = uint32(payload.WireSize())
+	}
+	for _, id := range l.cfg.Clan {
+		l.ep.Send(id, msg)
+	}
+}
+
+// Handle consumes dissemination traffic (wired through core's OnUnhandled).
+func (l *Layer) Handle(from types.NodeID, m types.Message) {
+	bm, ok := m.(*types.BcastMsg)
+	if !ok {
+		return
+	}
+	switch bm.K {
+	case types.KindBVal:
+		l.onData(from, bm)
+	case types.KindBEcho:
+		l.onAck(from, bm)
+	}
+}
+
+// onData stores a pushed payload and acks it (clan members only).
+func (l *Layer) onData(from types.NodeID, m *types.BcastMsg) {
+	if !l.inClan || from != m.Sender {
+		return
+	}
+	var blk *types.Block
+	if m.Data != nil {
+		b, _, err := types.UnmarshalBlock(m.Data)
+		if err != nil {
+			return
+		}
+		l.clk.Charge(l.cfg.Costs.HashCost(b.PayloadBytes()))
+		if b.Digest() != m.Digest {
+			return
+		}
+		blk = b
+	} else {
+		// Synthetic payload: trust the declared digest (simulation).
+		blk = &types.Block{Source: m.Sender}
+	}
+	l.stored[m.Digest] = blk
+	l.clk.Charge(l.cfg.Costs.StoreWrite)
+	sig := l.cfg.Reg.SignFor(l.cfg.Key, ackCtx(m.Sender, m.Seq, m.Digest))
+	l.clk.Charge(l.cfg.Costs.EdSign)
+	l.ep.Send(from, &types.BcastMsg{
+		K: types.KindBEcho, Sender: m.Sender, Seq: m.Seq,
+		Digest: m.Digest, Voter: l.cfg.Self, Sig: sig,
+	})
+}
+
+// onAck folds a storage acknowledgement into the pending PoA.
+func (l *Layer) onAck(from types.NodeID, m *types.BcastMsg) {
+	if from != m.Voter {
+		return
+	}
+	agg, ok := l.pendAgg[m.Seq]
+	if !ok || l.pendDig[m.Seq] != m.Digest {
+		return
+	}
+	if types.BitmapHas(agg.Bitmap(), m.Voter) {
+		return
+	}
+	ctx := ackCtx(l.cfg.Self, m.Seq, m.Digest)
+	if !l.cfg.Reg.Verify(m.Voter, ctx, m.Sig) {
+		return
+	}
+	l.clk.Charge(l.cfg.Costs.EdVerify)
+	agg.Add(m.Voter, l.cfg.Reg.PartialFor(m.Voter, ctx))
+	l.clk.Charge(l.cfg.Costs.AggFold)
+	if agg.Count() >= l.fc+1 {
+		// PoA complete: queue it for the next consensus proposal.
+		poa := &PoA{
+			Digest:    m.Digest,
+			Proposer:  l.cfg.Self,
+			Seq:       m.Seq,
+			CreatedAt: l.pendData[m.Seq].CreatedAt,
+			Agg:       agg.Sig(),
+		}
+		l.ready = append(l.ready, poa)
+		l.PoAsFormed++
+		delete(l.pendAgg, m.Seq)
+		delete(l.pendDig, m.Seq)
+		// The payload stays available locally (the proposer is a clan
+		// member in practice; if not, clan storage suffices).
+		delete(l.pendData, m.Seq)
+	}
+}
+
+// NextBlock implements core.BlockSource: the consensus payload is the queue
+// of formed PoAs — pure metadata, exactly the straw-man's "provide the PoA
+// to any SMR protocol to establish a global ordering".
+func (l *Layer) NextBlock(r types.Round) *types.Block {
+	if len(l.ready) == 0 {
+		return nil
+	}
+	b := &types.Block{}
+	for _, poa := range l.ready {
+		b.Txs = append(b.Txs, poa.Marshal())
+	}
+	l.ready = nil
+	return b
+}
+
+// OnCommit consumes the consensus engine's ordered output: each ordered PoA
+// commits its payload. Wire as the core node's Deliver callback.
+func (l *Layer) OnCommit(cv core.CommittedVertex) {
+	if cv.Block == nil {
+		return
+	}
+	for _, tx := range cv.Block.Txs {
+		poa, ok := UnmarshalPoA(tx)
+		if !ok {
+			continue
+		}
+		// Validate the PoA once globally ordered (f_c+1 clan acks).
+		if types.BitmapCount(poa.Agg.Bitmap) < l.fc+1 {
+			continue
+		}
+		if l.cfg.Reg.CheckSigs && !l.cfg.Reg.VerifyAgg(ackCtx(poa.Proposer, poa.Seq, poa.Digest), poa.Agg) {
+			continue
+		}
+		l.clk.Charge(l.cfg.Costs.AggVerify)
+		l.Committed++
+		if l.cfg.Committed != nil {
+			l.cfg.Committed(poa, l.stored[poa.Digest])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package strawman
+
+import (
+	"testing"
+	"time"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/simnet"
+	"clanbft/internal/types"
+)
+
+// strawCluster wires n nodes each running consensus + the straw-man
+// dissemination layer.
+type strawCluster struct {
+	net       *simnet.Net
+	layers    []*Layer
+	nodes     []*core.Node
+	clan      []types.NodeID
+	committed [][]*PoA
+	latencies []time.Duration // at node 0, per committed payload
+}
+
+func newStrawCluster(t testing.TB, n, clanSize int) *strawCluster {
+	t.Helper()
+	net := simnet.New(simnet.Config{N: n, Regions: simnet.EvenRegions(n, 5), Seed: 3})
+	keys := crypto.GenerateKeys(n, 9)
+	reg := crypto.NewRegistry(keys, true)
+	clan := committee.SampleClan(n, clanSize, 4)
+	c := &strawCluster{net: net, clan: clan, committed: make([][]*PoA, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		id := types.NodeID(i)
+		clk := net.Clock(id)
+		layer := New(Config{
+			Self: id, N: n, Clan: clan, Key: &keys[i], Reg: reg,
+			Committed: func(p *PoA, payload *types.Block) {
+				c.committed[i] = append(c.committed[i], p)
+				if i == 0 {
+					c.latencies = append(c.latencies, clk.Now()-time.Duration(p.CreatedAt))
+				}
+			},
+		}, net.Endpoint(id), clk)
+		node := core.New(core.Config{
+			Self: id, N: n, Key: &keys[i], Reg: reg,
+			Blocks:      layer,
+			OnUnhandled: layer.Handle,
+			Deliver:     layer.OnCommit,
+		}, net.Endpoint(id), clk)
+		c.layers = append(c.layers, layer)
+		c.nodes = append(c.nodes, node)
+		node.Start()
+	}
+	return c
+}
+
+func TestPoACommitFlow(t *testing.T) {
+	n := 10
+	c := newStrawCluster(t, n, 6)
+	// Proposer 0 disseminates three payloads via timers (serialized ctx).
+	for k := 0; k < 3; k++ {
+		k := k
+		c.net.Clock(0).After(time.Duration(k)*100*time.Millisecond, func() {
+			c.layers[0].Disseminate(&types.Block{Txs: [][]byte{{byte(k)}, {2}}})
+		})
+	}
+	c.net.Run(10 * time.Second)
+	for i := 0; i < n; i++ {
+		if len(c.committed[i]) != 3 {
+			t.Fatalf("node %d committed %d PoAs, want 3", i, len(c.committed[i]))
+		}
+	}
+	// Identical commit order everywhere (the PoAs are totally ordered).
+	for i := 1; i < n; i++ {
+		for j := range c.committed[0] {
+			if c.committed[i][j].Digest != c.committed[0][j].Digest {
+				t.Fatalf("PoA order diverges at node %d index %d", i, j)
+			}
+		}
+	}
+	if c.layers[0].PoAsFormed != 3 {
+		t.Fatalf("proposer formed %d PoAs", c.layers[0].PoAsFormed)
+	}
+	// Clan members stored the payloads; non-clan members did not.
+	inClan := map[types.NodeID]bool{}
+	for _, id := range c.clan {
+		inClan[id] = true
+	}
+	for i := 0; i < n; i++ {
+		if inClan[types.NodeID(i)] {
+			if len(c.layers[i].stored) != 3 {
+				t.Fatalf("clan node %d stored %d payloads", i, len(c.layers[i].stored))
+			}
+		} else if len(c.layers[i].stored) != 0 {
+			t.Fatalf("non-clan node %d stored payloads", i)
+		}
+	}
+}
+
+func TestPoARoundTrip(t *testing.T) {
+	p := &PoA{Proposer: 7, Seq: 42, CreatedAt: 12345}
+	p.Digest = types.HashBytes([]byte("x"))
+	p.Agg.Bitmap = []byte{0xFF, 0x01}
+	got, ok := UnmarshalPoA(p.Marshal())
+	if !ok || got.Digest != p.Digest || got.Proposer != 7 || got.Seq != 42 || got.CreatedAt != 12345 {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if _, ok := UnmarshalPoA([]byte{1, 2, 3}); ok {
+		t.Fatal("decoded garbage")
+	}
+}
+
+// TestStrawmanSlowerThanMergedRBC is the paper's Section 1 latency argument
+// made executable: the separate dissemination layer commits payloads
+// strictly slower than the pipelined single-clan protocol under identical
+// network conditions.
+func TestStrawmanSlowerThanMergedRBC(t *testing.T) {
+	n, clanSize := 10, 6
+
+	// Straw-man: measure payload-creation -> PoA-ordered latency.
+	sc := newStrawCluster(t, n, clanSize)
+	var tick func(k int)
+	tick = func(k int) {
+		if k >= 20 {
+			return
+		}
+		sc.layers[0].Disseminate(&types.Block{Txs: [][]byte{{byte(k)}}})
+		sc.net.Clock(0).After(200*time.Millisecond, func() { tick(k + 1) })
+	}
+	sc.net.Clock(0).After(time.Millisecond, func() { tick(0) })
+	sc.net.Run(15 * time.Second)
+	if len(sc.latencies) < 10 {
+		t.Fatalf("straw-man committed only %d payloads", len(sc.latencies))
+	}
+	var strawSum time.Duration
+	for _, l := range sc.latencies {
+		strawSum += l
+	}
+	strawAvg := strawSum / time.Duration(len(sc.latencies))
+
+	// Merged (single-clan) protocol: same network, same clan size.
+	net := simnet.New(simnet.Config{N: n, Regions: simnet.EvenRegions(n, 5), Seed: 3})
+	keys := crypto.GenerateKeys(n, 9)
+	reg := crypto.NewRegistry(keys, true)
+	clan := committee.SampleClan(n, clanSize, 4)
+	var mergedSum time.Duration
+	mergedN := 0
+	for i := 0; i < n; i++ {
+		i := i
+		id := types.NodeID(i)
+		clk := net.Clock(id)
+		src := &blockEvery{every: 1}
+		node := core.New(core.Config{
+			Self: id, N: n, Mode: core.ModeSingleClan,
+			Clans: [][]types.NodeID{clan},
+			Key:   &keys[i], Reg: reg, Blocks: src,
+			Deliver: func(cv core.CommittedVertex) {
+				if i == 0 && cv.Block != nil {
+					mergedSum += clk.Now() - time.Duration(cv.Block.CreatedAt)
+					mergedN++
+				}
+			},
+		}, net.Endpoint(id), clk)
+		node.Start()
+	}
+	net.Run(15 * time.Second)
+	if mergedN == 0 {
+		t.Fatal("merged protocol committed nothing")
+	}
+	mergedAvg := mergedSum / time.Duration(mergedN)
+
+	if strawAvg <= mergedAvg {
+		t.Fatalf("straw-man latency %v not above merged-RBC latency %v", strawAvg, mergedAvg)
+	}
+	ratio := float64(strawAvg) / float64(mergedAvg)
+	t.Logf("avg commit latency: straw-man %v, merged single-clan %v (%.2fx)", strawAvg, mergedAvg, ratio)
+	// The headline 6-delta-vs-3-delta gap applies to leader vertices; the
+	// measured averages also include 5-delta non-leader commits on the
+	// merged side, diluting the ratio. Demand a clearly material penalty.
+	if ratio < 1.15 {
+		t.Fatalf("expected a material latency penalty from sequential dissemination, got %.2fx", ratio)
+	}
+}
+
+type blockEvery struct {
+	every int
+	n     int
+}
+
+func (b *blockEvery) NextBlock(r types.Round) *types.Block {
+	b.n++
+	if b.n%b.every != 0 {
+		return nil
+	}
+	return &types.Block{Txs: [][]byte{{byte(b.n)}}}
+}

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clanbft/internal/types"
+)
+
+// maxFrame bounds a single wire frame (a 3 MB proposal plus headroom).
+const maxFrame = 64 << 20
+
+// TCPEndpoint is a real-socket Endpoint. Every party listens on its address
+// from the shared address book and dials peers lazily; outbound messages are
+// queued per peer and flushed by a writer goroutine that reconnects with
+// backoff, so a crashed peer never blocks the protocol (the reliable-link
+// assumption of the paper: TCP keeps retransmitting until acknowledged).
+//
+// Peer identity is established by a plaintext handshake carrying the dialing
+// party's NodeID. Production deployments would authenticate the channel
+// (TLS with pinned keys); the protocols themselves sign every message that
+// needs authenticity, so the handshake only routes traffic.
+type TCPEndpoint struct {
+	id    types.NodeID
+	addrs map[types.NodeID]string
+	ln    net.Listener
+	mb    *mailbox
+	clock *realClock
+
+	mu       sync.Mutex
+	peers    map[types.NodeID]*peerConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	msgsSent  atomic.Uint64
+	bytesSent atomic.Uint64
+	msgsRecv  atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+type peerConn struct {
+	out    chan []byte
+	closed chan struct{}
+}
+
+// outQueueLen bounds per-peer buffered frames; beyond it sends drop (the
+// peer is too slow or down — RBC-level retransmission recovers).
+const outQueueLen = 4096
+
+// NewTCPEndpoint creates the endpoint for party self, listening on
+// addrs[self].
+func NewTCPEndpoint(self types.NodeID, addrs map[types.NodeID]string) (*TCPEndpoint, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for self %d", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		id:       self,
+		addrs:    addrs,
+		ln:       ln,
+		mb:       newMailbox(),
+		peers:    map[types.NodeID]*peerConn{},
+		accepted: map[net.Conn]struct{}{},
+	}
+	e.clock = &realClock{epoch: time.Now(), mb: e.mb}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's bound listen address (useful with ":0").
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Clock returns a wall clock whose callbacks are serialized with this
+// endpoint's handler.
+func (e *TCPEndpoint) Clock() Clock { return e.clock }
+
+func (e *TCPEndpoint) Self() types.NodeID { return e.id }
+
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mb.setHandler(h)
+	e.mb.start()
+}
+
+func (e *TCPEndpoint) Send(to types.NodeID, m types.Message) {
+	if to == e.id {
+		e.mb.push(task{from: e.id, msg: m})
+		return
+	}
+	frame := types.Encode(m, nil)
+	e.msgsSent.Add(1)
+	e.bytesSent.Add(uint64(len(frame)))
+	p := e.peer(to)
+	if p == nil {
+		return
+	}
+	select {
+	case p.out <- frame:
+	default:
+		// Queue full: drop. The protocol layer tolerates loss before
+		// GST; steady-state queues never fill at sane loads.
+	}
+}
+
+func (e *TCPEndpoint) Multicast(tos []types.NodeID, m types.Message) {
+	for _, to := range tos {
+		e.Send(to, m)
+	}
+}
+
+func (e *TCPEndpoint) Broadcast(m types.Message) {
+	for id := range e.addrs {
+		e.Send(id, m)
+	}
+}
+
+func (e *TCPEndpoint) Stats() Stats {
+	return Stats{
+		MsgsSent:  e.msgsSent.Load(),
+		BytesSent: e.bytesSent.Load(),
+		MsgsRecv:  e.msgsRecv.Load(),
+		BytesRecv: e.bytesRecv.Load(),
+	}
+}
+
+// peer returns (creating if needed) the outbound connection state for id.
+func (e *TCPEndpoint) peer(id types.NodeID) *peerConn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if p, ok := e.peers[id]; ok {
+		return p
+	}
+	p := &peerConn{out: make(chan []byte, outQueueLen), closed: make(chan struct{})}
+	e.peers[id] = p
+	e.wg.Add(1)
+	go e.writeLoop(id, p)
+	return p
+}
+
+func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
+	defer e.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := 50 * time.Millisecond
+	hdr := make([]byte, 4)
+	for {
+		select {
+		case <-p.closed:
+			return
+		case frame := <-p.out:
+			for conn == nil {
+				c, err := net.DialTimeout("tcp", e.addrs[id], 2*time.Second)
+				if err != nil {
+					select {
+					case <-p.closed:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff < 2*time.Second {
+						backoff *= 2
+					}
+					continue
+				}
+				// Handshake: announce who is dialing.
+				var hello [2]byte
+				binary.BigEndian.PutUint16(hello[:], uint16(e.id))
+				if _, err := c.Write(hello[:]); err != nil {
+					c.Close()
+					continue
+				}
+				conn = c
+				backoff = 50 * time.Millisecond
+			}
+			// A peer that stops reading must not wedge the writer
+			// forever: bound each frame write.
+			conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+			binary.BigEndian.PutUint32(hdr, uint32(len(frame)))
+			if _, err := conn.Write(hdr); err == nil {
+				_, err = conn.Write(frame)
+				if err == nil {
+					continue
+				}
+			}
+			// Write failed: drop the frame, reconnect on next send.
+			conn.Close()
+			conn = nil
+		}
+	}
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.accepted[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.accepted, c)
+		e.mu.Unlock()
+	}()
+	var hello [2]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return
+	}
+	from := types.NodeID(binary.BigEndian.Uint16(hello[:]))
+	if _, ok := e.addrs[from]; !ok {
+		return // unknown peer
+	}
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n == 0 || n > maxFrame {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(c, frame); err != nil {
+			return
+		}
+		m, err := types.Decode(frame)
+		if err != nil {
+			continue // malformed message from a (possibly Byzantine) peer
+		}
+		e.msgsRecv.Add(1)
+		e.bytesRecv.Add(uint64(n))
+		e.mb.push(task{from: from, msg: m})
+	}
+}
+
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, p := range e.peers {
+		close(p.closed)
+	}
+	// Force-close inbound connections so readLoops unblock even while the
+	// remote ends stay up.
+	for c := range e.accepted {
+		c.Close()
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	e.mb.close()
+	e.wg.Wait()
+	return err
+}

@@ -1,0 +1,302 @@
+// Package transport defines how clanbft nodes exchange messages and observe
+// time, plus two real implementations: an in-process channel network and a
+// TCP network with length-prefixed framing. The discrete-event simulator in
+// internal/simnet provides a third implementation with virtual time.
+//
+// Protocol code is written against Endpoint + Clock only, so the same node
+// logic runs unmodified under real sockets and under simulation. All inbound
+// events for one node (messages and timer fires) are serialized: handlers
+// never run concurrently with each other, which lets protocol state machines
+// stay lock-free.
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clanbft/internal/types"
+)
+
+// Handler consumes inbound messages. Calls are serialized per node.
+type Handler func(from types.NodeID, m types.Message)
+
+// Endpoint is one node's handle on the network.
+type Endpoint interface {
+	// Self returns the node's own ID.
+	Self() types.NodeID
+	// Send transmits m to one party. Sending to self delivers locally
+	// (serialized with other inbound events) without touching the wire.
+	Send(to types.NodeID, m types.Message)
+	// Multicast transmits m to each listed party (self allowed).
+	Multicast(tos []types.NodeID, m types.Message)
+	// Broadcast transmits m to every party in the system, including self.
+	Broadcast(m types.Message)
+	// SetHandler installs the inbound handler. Must be called before any
+	// traffic arrives.
+	SetHandler(h Handler)
+	// Stats reports cumulative traffic counters for this endpoint.
+	Stats() Stats
+	// Close tears the endpoint down.
+	Close() error
+}
+
+// Stats counts what an endpoint put on the wire. Self-sends are excluded:
+// they consume no network resources, matching how the paper accounts
+// communication complexity.
+type Stats struct {
+	MsgsSent  uint64
+	BytesSent uint64
+	MsgsRecv  uint64
+	BytesRecv uint64
+}
+
+// Clock abstracts time so the simulator can run on virtual time.
+type Clock interface {
+	// Now returns the time since the clock's epoch.
+	Now() time.Duration
+	// After schedules fn to run once after d, serialized with the owning
+	// node's message handlers. The returned Timer can cancel it.
+	After(d time.Duration, fn func()) Timer
+	// Charge models CPU consumption: under simulation it advances the
+	// node's local busy-time so that emitted messages and subsequent
+	// events are delayed accordingly; under real clocks it is a no-op
+	// (real cycles were really spent).
+	Charge(d time.Duration)
+}
+
+// Timer cancels a pending After callback.
+type Timer interface {
+	// Stop cancels the timer if it has not fired; it reports whether the
+	// cancellation happened before the callback ran.
+	Stop() bool
+}
+
+// ---------------------------------------------------------------------------
+// Serial executor: the per-node mailbox that serializes handler invocations
+// for the real (non-simulated) transports.
+
+type task struct {
+	from types.NodeID
+	msg  types.Message
+	fn   func()
+}
+
+// mailbox runs tasks one at a time in a dedicated goroutine.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	closed  bool
+	started bool
+	handler func(types.NodeID, types.Message)
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go m.loop()
+}
+
+func (m *mailbox) loop() {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed && len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		t := m.queue[0]
+		m.queue = m.queue[1:]
+		h := m.handler
+		m.mu.Unlock()
+		if t.fn != nil {
+			t.fn()
+		} else if h != nil {
+			h(t.from, t.msg)
+		}
+	}
+}
+
+func (m *mailbox) push(t task) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, t)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+func (m *mailbox) setHandler(h Handler) {
+	m.mu.Lock()
+	m.handler = h
+	m.mu.Unlock()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// RealClock: wall-clock time with callbacks serialized through a mailbox.
+
+// realClock implements Clock over the wall clock for one endpoint.
+type realClock struct {
+	epoch time.Time
+	mb    *mailbox
+}
+
+func (c *realClock) Now() time.Duration { return time.Since(c.epoch) }
+
+func (c *realClock) After(d time.Duration, fn func()) Timer {
+	rt := &realTimer{}
+	rt.t = time.AfterFunc(d, func() {
+		rt.mu.Lock()
+		stopped := rt.stopped
+		rt.mu.Unlock()
+		if !stopped {
+			c.mb.push(task{fn: fn})
+		}
+	})
+	return rt
+}
+
+func (c *realClock) Charge(time.Duration) {}
+
+type realTimer struct {
+	mu      sync.Mutex
+	t       *time.Timer
+	stopped bool
+}
+
+func (t *realTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	return t.t.Stop()
+}
+
+// ---------------------------------------------------------------------------
+// Chan: in-process network connecting n endpoints through Go channels.
+
+// ChanNet is an in-process network. It delivers messages reliably and in
+// per-sender order, optionally with a fixed artificial latency, and models
+// nothing else — it exists for functional tests and the quickstart example.
+type ChanNet struct {
+	epoch   time.Time
+	latency time.Duration
+	eps     []*chanEndpoint
+}
+
+// NewChanNet creates an in-process network with n endpoints.
+func NewChanNet(n int, latency time.Duration) *ChanNet {
+	net := &ChanNet{epoch: time.Now(), latency: latency}
+	for i := 0; i < n; i++ {
+		ep := &chanEndpoint{
+			id:  types.NodeID(i),
+			net: net,
+			mb:  newMailbox(),
+		}
+		ep.clock = &realClock{epoch: net.epoch, mb: ep.mb}
+		net.eps = append(net.eps, ep)
+	}
+	return net
+}
+
+// Endpoint returns node id's endpoint.
+func (n *ChanNet) Endpoint(id types.NodeID) Endpoint { return n.eps[id] }
+
+// Clock returns node id's clock.
+func (n *ChanNet) Clock(id types.NodeID) Clock { return n.eps[id].clock }
+
+// N returns the number of endpoints.
+func (n *ChanNet) N() int { return len(n.eps) }
+
+// Close closes every endpoint.
+func (n *ChanNet) Close() {
+	for _, ep := range n.eps {
+		ep.Close()
+	}
+}
+
+type chanEndpoint struct {
+	id    types.NodeID
+	net   *ChanNet
+	mb    *mailbox
+	clock *realClock
+
+	msgsSent  atomic.Uint64
+	bytesSent atomic.Uint64
+	msgsRecv  atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+func (e *chanEndpoint) Self() types.NodeID { return e.id }
+
+func (e *chanEndpoint) SetHandler(h Handler) {
+	e.mb.setHandler(h)
+	e.mb.start()
+}
+
+func (e *chanEndpoint) Send(to types.NodeID, m types.Message) {
+	if to == e.id {
+		e.mb.push(task{from: e.id, msg: m})
+		return
+	}
+	size := uint64(m.WireSize())
+	e.msgsSent.Add(1)
+	e.bytesSent.Add(size)
+	dst := e.net.eps[to]
+	deliver := func() {
+		dst.msgsRecv.Add(1)
+		dst.bytesRecv.Add(size)
+		dst.mb.push(task{from: e.id, msg: m})
+	}
+	if e.net.latency > 0 {
+		time.AfterFunc(e.net.latency, deliver)
+	} else {
+		deliver()
+	}
+}
+
+func (e *chanEndpoint) Multicast(tos []types.NodeID, m types.Message) {
+	for _, to := range tos {
+		e.Send(to, m)
+	}
+}
+
+func (e *chanEndpoint) Broadcast(m types.Message) {
+	for i := range e.net.eps {
+		e.Send(types.NodeID(i), m)
+	}
+}
+
+func (e *chanEndpoint) Stats() Stats {
+	return Stats{
+		MsgsSent:  e.msgsSent.Load(),
+		BytesSent: e.bytesSent.Load(),
+		MsgsRecv:  e.msgsRecv.Load(),
+		BytesRecv: e.bytesRecv.Load(),
+	}
+}
+
+func (e *chanEndpoint) Close() error {
+	e.mb.close()
+	return nil
+}

@@ -1,0 +1,87 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire-message decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode canonically.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: one valid encoding per message kind.
+	var sig SigBytes
+	digest := HashBytes([]byte("seed"))
+	v := &Vertex{Round: 3, Source: 1, BlockDigest: digest,
+		StrongEdges: []VertexRef{{Round: 2, Source: 0, Digest: digest}}}
+	seeds := []Message{
+		&ValMsg{Vertex: v, Sig: sig},
+		&ValMsg{Vertex: v, Block: &Block{Round: 3, Source: 1, Txs: [][]byte{{1, 2}}}, Sig: sig},
+		&VoteMsg{K: KindEcho, Pos: Position{3, 1}, Digest: digest, Voter: 2, Sig: sig},
+		&EchoCertMsg{Pos: Position{3, 1}, Digest: digest, Agg: AggSig{Bitmap: []byte{7}}},
+		&BlockReqMsg{Pos: Position{3, 1}, Digest: digest},
+		&NoVoteMsg{NV: NoVote{Round: 5, Voter: 1, Sig: sig}},
+		&TimeoutMsg{TO: Timeout{Round: 5, Voter: 1, Sig: sig}},
+		&TCMsg{TC: TimeoutCert{Round: 5, Agg: AggSig{Bitmap: []byte{7}}}},
+		&VtxReqMsg{Pos: Position{3, 1}},
+		&VtxRspMsg{Vertex: v},
+		&BcastMsg{K: KindBVal, Sender: 1, Seq: 2, Digest: digest, Data: []byte("d"), HasData: true},
+	}
+	for _, m := range seeds {
+		f.Add(Encode(m, nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Round-trip stability: decode(encode(decode(x))) == decode(x).
+		re := Encode(m, nil)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(re, Encode(m2, nil)) {
+			t.Fatal("encoding not canonical")
+		}
+	})
+}
+
+// FuzzUnmarshalVertex checks the vertex decoder in isolation.
+func FuzzUnmarshalVertex(f *testing.F) {
+	v := &Vertex{Round: 9, Source: 4}
+	v.NormalizeEdges()
+	f.Add(v.Marshal(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, _, err := UnmarshalVertex(data)
+		if err != nil {
+			return
+		}
+		enc := got.Marshal(nil)
+		got2, rest, err := UnmarshalVertex(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("re-unmarshal: %v", err)
+		}
+		if !got2.Equal(got) {
+			t.Fatal("vertex roundtrip unstable")
+		}
+	})
+}
+
+// FuzzUnmarshalBlock checks the block decoder in isolation.
+func FuzzUnmarshalBlock(f *testing.F) {
+	b := &Block{Round: 1, Source: 2, Txs: [][]byte{{1}, {2, 3}}}
+	f.Add(b.Marshal(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, _, err := UnmarshalBlock(data)
+		if err != nil {
+			return
+		}
+		if got.PayloadBytes() < 0 || got.TxCount() < 0 {
+			t.Fatal("negative accounting")
+		}
+		_ = got.Digest()
+	})
+}

@@ -1,0 +1,577 @@
+package types
+
+import "fmt"
+
+// MsgKind discriminates wire messages.
+type MsgKind uint8
+
+const (
+	// Consensus-path messages (merged vertex+block RBC, Section 5).
+	KindVal      MsgKind = 1 // vertex proposal, optionally with block
+	KindEcho     MsgKind = 2
+	KindReady    MsgKind = 3
+	KindEchoCert MsgKind = 4
+	KindBlockReq MsgKind = 5
+	KindBlockRsp MsgKind = 6
+	KindNoVote   MsgKind = 7
+	KindTimeout  MsgKind = 8
+	KindTC       MsgKind = 9
+	KindVtxReq   MsgKind = 10
+	KindVtxRsp   MsgKind = 11
+
+	// Generic reliable-broadcast messages (internal/rbc baselines and the
+	// standalone tribe-assisted RBC of Sections 3-4).
+	KindBVal   MsgKind = 16
+	KindBEcho  MsgKind = 17
+	KindBReady MsgKind = 18
+	KindBCert  MsgKind = 19
+	KindBReq   MsgKind = 20
+	KindBRsp   MsgKind = 21
+)
+
+// Message is anything that can travel between parties. WireSize must equal
+// len(Marshal(nil)) for real payloads, or the modeled size for synthetic
+// blocks.
+type Message interface {
+	Kind() MsgKind
+	Marshal(b []byte) []byte
+	WireSize() int
+}
+
+// Encode frames m as kind byte + body.
+func Encode(m Message, b []byte) []byte {
+	b = append(b, byte(m.Kind()))
+	return m.Marshal(b)
+}
+
+// Decode parses a framed message.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("types: empty message")
+	}
+	kind, body := MsgKind(b[0]), b[1:]
+	var (
+		m   Message
+		err error
+	)
+	switch kind {
+	case KindVal:
+		m, err = unmarshalVal(body)
+	case KindEcho:
+		m, err = unmarshalVote(body, KindEcho)
+	case KindReady:
+		m, err = unmarshalVote(body, KindReady)
+	case KindEchoCert:
+		m, err = unmarshalEchoCert(body)
+	case KindBlockReq:
+		m, err = unmarshalBlockReq(body)
+	case KindBlockRsp:
+		m, err = unmarshalBlockRsp(body)
+	case KindNoVote:
+		m, err = unmarshalNoVote(body)
+	case KindTimeout:
+		m, err = unmarshalTimeout(body)
+	case KindTC:
+		m, err = unmarshalTCMsg(body)
+	case KindVtxReq:
+		m, err = unmarshalVtxReq(body)
+	case KindVtxRsp:
+		m, err = unmarshalVtxRsp(body)
+	case KindBVal, KindBEcho, KindBReady, KindBCert, KindBReq, KindBRsp:
+		m, err = unmarshalBcast(body, kind)
+	default:
+		return nil, fmt.Errorf("types: unknown message kind %d", kind)
+	}
+	return m, err
+}
+
+// ValMsg is the first message of the merged RBC: the vertex goes to the whole
+// tribe, the block only to the proposer's clan (Block == nil elsewhere). Sig
+// covers the vertex digest, binding the proposal to its sender.
+type ValMsg struct {
+	Vertex *Vertex
+	Block  *Block // nil outside the clan
+	Sig    SigBytes
+}
+
+func (m *ValMsg) Kind() MsgKind { return KindVal }
+
+func (m *ValMsg) Marshal(b []byte) []byte {
+	b = m.Vertex.Marshal(b)
+	if m.Block != nil {
+		b = append(b, 1)
+		b = m.Block.Marshal(b)
+	} else {
+		b = append(b, 0)
+	}
+	return append(b, m.Sig[:]...)
+}
+
+func (m *ValMsg) WireSize() int {
+	n := m.Vertex.WireSize() + 1 + 64
+	if m.Block != nil {
+		n += m.Block.WireSize()
+	}
+	return n
+}
+
+func unmarshalVal(b []byte) (*ValMsg, error) {
+	v, b, err := UnmarshalVertex(b)
+	if err != nil {
+		return nil, err
+	}
+	m := &ValMsg{Vertex: v}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("types: short val flag")
+	}
+	hasBlock := b[0] == 1
+	b = b[1:]
+	if hasBlock {
+		if m.Block, b, err = UnmarshalBlock(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 64 {
+		return nil, fmt.Errorf("types: val sig length %d", len(b))
+	}
+	copy(m.Sig[:], b)
+	return m, nil
+}
+
+// VoteMsg carries an ECHO or READY for the RBC instance at Pos. Digest is
+// the digest of the vertex being echoed. Voter+Sig authenticate the vote so
+// it can be folded into an aggregate certificate.
+type VoteMsg struct {
+	K      MsgKind // KindEcho or KindReady
+	Pos    Position
+	Digest Hash
+	Voter  NodeID
+	Sig    SigBytes
+}
+
+func (m *VoteMsg) Kind() MsgKind { return m.K }
+
+func (m *VoteMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.Pos.Round))
+	b = PutUvarint(b, uint64(m.Pos.Source))
+	b = append(b, m.Digest[:]...)
+	b = PutUvarint(b, uint64(m.Voter))
+	return append(b, m.Sig[:]...)
+}
+
+func (m *VoteMsg) WireSize() int {
+	return uvarintLen(uint64(m.Pos.Round)) + uvarintLen(uint64(m.Pos.Source)) + 32 +
+		uvarintLen(uint64(m.Voter)) + 64
+}
+
+func unmarshalVote(b []byte, k MsgKind) (*VoteMsg, error) {
+	m := &VoteMsg{K: k}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Pos.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Pos.Source = NodeID(u)
+	if len(b) < 32 {
+		return nil, fmt.Errorf("types: short vote digest")
+	}
+	copy(m.Digest[:], b[:32])
+	b = b[32:]
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Voter = NodeID(u)
+	if len(b) != 64 {
+		return nil, fmt.Errorf("types: vote sig length %d", len(b))
+	}
+	copy(m.Sig[:], b)
+	return m, nil
+}
+
+// EchoCertMsg carries EC_r(m): an aggregate over 2f+1 ECHO votes with at
+// least f_c+1 clan votes (Figure 3). Receiving it lets a party deliver.
+type EchoCertMsg struct {
+	Pos    Position
+	Digest Hash
+	Agg    AggSig
+}
+
+func (m *EchoCertMsg) Kind() MsgKind { return KindEchoCert }
+
+func (m *EchoCertMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.Pos.Round))
+	b = PutUvarint(b, uint64(m.Pos.Source))
+	b = append(b, m.Digest[:]...)
+	return marshalAgg(b, m.Agg)
+}
+
+func (m *EchoCertMsg) WireSize() int {
+	return uvarintLen(uint64(m.Pos.Round)) + uvarintLen(uint64(m.Pos.Source)) + 32 + m.Agg.WireSize()
+}
+
+func unmarshalEchoCert(b []byte) (*EchoCertMsg, error) {
+	m := &EchoCertMsg{}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Pos.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Pos.Source = NodeID(u)
+	if len(b) < 32 {
+		return nil, fmt.Errorf("types: short cert digest")
+	}
+	copy(m.Digest[:], b[:32])
+	if m.Agg, _, err = unmarshalAgg(b[32:]); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BlockReqMsg asks a clan peer for the block with the given digest (the pull
+// path used when a Byzantine sender withheld the block).
+type BlockReqMsg struct {
+	Pos    Position
+	Digest Hash
+}
+
+func (m *BlockReqMsg) Kind() MsgKind { return KindBlockReq }
+
+func (m *BlockReqMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.Pos.Round))
+	b = PutUvarint(b, uint64(m.Pos.Source))
+	return append(b, m.Digest[:]...)
+}
+
+func (m *BlockReqMsg) WireSize() int {
+	return uvarintLen(uint64(m.Pos.Round)) + uvarintLen(uint64(m.Pos.Source)) + 32
+}
+
+func unmarshalBlockReq(b []byte) (*BlockReqMsg, error) {
+	m := &BlockReqMsg{}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Pos.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Pos.Source = NodeID(u)
+	if len(b) != 32 {
+		return nil, fmt.Errorf("types: blockreq digest length %d", len(b))
+	}
+	copy(m.Digest[:], b)
+	return m, nil
+}
+
+// BlockRspMsg answers a BlockReqMsg.
+type BlockRspMsg struct {
+	Block *Block
+}
+
+func (m *BlockRspMsg) Kind() MsgKind { return KindBlockRsp }
+
+func (m *BlockRspMsg) Marshal(b []byte) []byte { return m.Block.Marshal(b) }
+
+func (m *BlockRspMsg) WireSize() int { return m.Block.WireSize() }
+
+func unmarshalBlockRsp(b []byte) (*BlockRspMsg, error) {
+	blk, _, err := UnmarshalBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockRspMsg{Block: blk}, nil
+}
+
+// NoVoteMsg tells the next round's leader that the voter timed out waiting
+// for the current round's leader vertex.
+type NoVoteMsg struct {
+	NV NoVote
+}
+
+func (m *NoVoteMsg) Kind() MsgKind { return KindNoVote }
+
+func (m *NoVoteMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.NV.Round))
+	b = PutUvarint(b, uint64(m.NV.Voter))
+	return append(b, m.NV.Sig[:]...)
+}
+
+func (m *NoVoteMsg) WireSize() int {
+	return uvarintLen(uint64(m.NV.Round)) + uvarintLen(uint64(m.NV.Voter)) + 64
+}
+
+func unmarshalNoVote(b []byte) (*NoVoteMsg, error) {
+	m := &NoVoteMsg{}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.NV.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.NV.Voter = NodeID(u)
+	if len(b) != 64 {
+		return nil, fmt.Errorf("types: novote sig length %d", len(b))
+	}
+	copy(m.NV.Sig[:], b)
+	return m, nil
+}
+
+// TimeoutMsg announces that the voter's timer for Round expired.
+type TimeoutMsg struct {
+	TO Timeout
+}
+
+func (m *TimeoutMsg) Kind() MsgKind { return KindTimeout }
+
+func (m *TimeoutMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.TO.Round))
+	b = PutUvarint(b, uint64(m.TO.Voter))
+	return append(b, m.TO.Sig[:]...)
+}
+
+func (m *TimeoutMsg) WireSize() int {
+	return uvarintLen(uint64(m.TO.Round)) + uvarintLen(uint64(m.TO.Voter)) + 64
+}
+
+func unmarshalTimeout(b []byte) (*TimeoutMsg, error) {
+	m := &TimeoutMsg{}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.TO.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.TO.Voter = NodeID(u)
+	if len(b) != 64 {
+		return nil, fmt.Errorf("types: timeout sig length %d", len(b))
+	}
+	copy(m.TO.Sig[:], b)
+	return m, nil
+}
+
+// TCMsg broadcasts an assembled timeout certificate.
+type TCMsg struct {
+	TC TimeoutCert
+}
+
+func (m *TCMsg) Kind() MsgKind { return KindTC }
+
+func (m *TCMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.TC.Round))
+	return marshalAgg(b, m.TC.Agg)
+}
+
+func (m *TCMsg) WireSize() int {
+	return uvarintLen(uint64(m.TC.Round)) + m.TC.Agg.WireSize()
+}
+
+func unmarshalTCMsg(b []byte) (*TCMsg, error) {
+	m := &TCMsg{}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.TC.Round = Round(u)
+	if m.TC.Agg, _, err = unmarshalAgg(b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// VtxReqMsg asks a peer for a missing vertex (proposals are downloaded off
+// the critical path instead of being forwarded, per the paper's Section 7
+// implementation notes).
+type VtxReqMsg struct {
+	Pos Position
+}
+
+func (m *VtxReqMsg) Kind() MsgKind { return KindVtxReq }
+
+func (m *VtxReqMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.Pos.Round))
+	return PutUvarint(b, uint64(m.Pos.Source))
+}
+
+func (m *VtxReqMsg) WireSize() int {
+	return uvarintLen(uint64(m.Pos.Round)) + uvarintLen(uint64(m.Pos.Source))
+}
+
+func unmarshalVtxReq(b []byte) (*VtxReqMsg, error) {
+	m := &VtxReqMsg{}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Pos.Round = Round(u)
+	if u, _, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Pos.Source = NodeID(u)
+	return m, nil
+}
+
+// VtxRspMsg answers a VtxReqMsg with the vertex and, when the requester is
+// entitled to it and the responder holds it, the block.
+type VtxRspMsg struct {
+	Vertex *Vertex
+	Block  *Block // nil unless available and the requester is a clan member
+}
+
+func (m *VtxRspMsg) Kind() MsgKind { return KindVtxRsp }
+
+func (m *VtxRspMsg) Marshal(b []byte) []byte {
+	b = m.Vertex.Marshal(b)
+	if m.Block != nil {
+		b = append(b, 1)
+		return m.Block.Marshal(b)
+	}
+	return append(b, 0)
+}
+
+func (m *VtxRspMsg) WireSize() int {
+	n := m.Vertex.WireSize() + 1
+	if m.Block != nil {
+		n += m.Block.WireSize()
+	}
+	return n
+}
+
+func unmarshalVtxRsp(b []byte) (*VtxRspMsg, error) {
+	v, b, err := UnmarshalVertex(b)
+	if err != nil {
+		return nil, err
+	}
+	m := &VtxRspMsg{Vertex: v}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("types: short vtxrsp flag")
+	}
+	if b[0] == 1 {
+		if m.Block, _, err = UnmarshalBlock(b[1:]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// BcastMsg is the shared shape of the generic reliable-broadcast messages
+// used by the Bracha and two-round RBC baselines (internal/rbc) and by the
+// standalone tribe-assisted RBC (Sections 3-4). An instance is identified by
+// (Sender, Seq).
+//
+//	KindBVal:   Data = payload (clan / full recipients) or nil (digest-only)
+//	KindBEcho:  vote on Digest
+//	KindBReady: vote on Digest
+//	KindBCert:  Agg holds the echo certificate
+//	KindBReq:   pull request for the payload
+//	KindBRsp:   pull response, Data = payload
+type BcastMsg struct {
+	K       MsgKind
+	Sender  NodeID // instance sender
+	Seq     uint64 // instance sequence number (round)
+	Digest  Hash
+	Data    []byte // nil unless KindBVal full / KindBRsp
+	HasData bool
+	Voter   NodeID
+	Sig     SigBytes
+	Agg     AggSig // only for KindBCert
+	// SynthSize models a payload of this many bytes without storing it
+	// (used by simulator-scale benchmarks). Nonzero only when Data is nil
+	// and HasData is true.
+	SynthSize uint32
+}
+
+func (m *BcastMsg) Kind() MsgKind { return m.K }
+
+func (m *BcastMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(m.Sender))
+	b = PutUvarint(b, m.Seq)
+	b = append(b, m.Digest[:]...)
+	if m.HasData {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = PutUvarint(b, uint64(len(m.Data)))
+	b = append(b, m.Data...)
+	b = PutUvarint(b, uint64(m.SynthSize))
+	b = PutUvarint(b, uint64(m.Voter))
+	b = append(b, m.Sig[:]...)
+	if m.K == KindBCert {
+		b = marshalAgg(b, m.Agg)
+	}
+	return b
+}
+
+func (m *BcastMsg) WireSize() int {
+	n := uvarintLen(uint64(m.Sender)) + uvarintLen(m.Seq) + 32 + 1 +
+		uvarintLen(uint64(len(m.Data))) + len(m.Data) +
+		uvarintLen(uint64(m.SynthSize)) +
+		uvarintLen(uint64(m.Voter)) + 64
+	if m.HasData {
+		n += int(m.SynthSize)
+	}
+	if m.K == KindBCert {
+		n += m.Agg.WireSize()
+	}
+	return n
+}
+
+func unmarshalBcast(b []byte, k MsgKind) (*BcastMsg, error) {
+	m := &BcastMsg{K: k}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Sender = NodeID(u)
+	if m.Seq, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 33 {
+		return nil, fmt.Errorf("types: short bcast msg")
+	}
+	copy(m.Digest[:], b[:32])
+	m.HasData = b[32] == 1
+	b = b[33:]
+	var n uint64
+	if n, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("types: bcast data length %d exceeds buffer", n)
+	}
+	if n > 0 {
+		m.Data = make([]byte, n)
+		copy(m.Data, b[:n])
+	}
+	b = b[n:]
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.SynthSize = uint32(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Voter = NodeID(u)
+	if len(b) < 64 {
+		return nil, fmt.Errorf("types: short bcast sig")
+	}
+	copy(m.Sig[:], b[:64])
+	b = b[64:]
+	if k == KindBCert {
+		if m.Agg, _, err = unmarshalAgg(b); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

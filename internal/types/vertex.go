@@ -1,0 +1,322 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// VertexRef identifies a vertex in the DAG by position and content digest.
+// References are the edges of the DAG; they are what the whole tribe agrees
+// on, while block payloads travel only inside clans.
+type VertexRef struct {
+	Round  Round
+	Source NodeID
+	Digest Hash
+}
+
+// Less orders references by (round, source); digests never collide for a
+// fixed position because RBC forbids equivocation.
+func (r VertexRef) Less(o VertexRef) bool {
+	if r.Round != o.Round {
+		return r.Round < o.Round
+	}
+	return r.Source < o.Source
+}
+
+func (r VertexRef) String() string {
+	return fmt.Sprintf("v(%d/%d)", r.Round, r.Source)
+}
+
+// Position is a (round, source) pair without the digest, used as a map key.
+type Position struct {
+	Round  Round
+	Source NodeID
+}
+
+// Pos returns the reference's position.
+func (r VertexRef) Pos() Position { return Position{r.Round, r.Source} }
+
+// NoVote is one party's signed statement that it will not vote for the
+// leader vertex of the given round (it timed out waiting for it).
+type NoVote struct {
+	Round Round
+	Voter NodeID
+	Sig   SigBytes
+}
+
+// NoVoteCert proves that 2f+1 parties refused to vote for round Round's
+// leader, authorizing the next leader to omit a strong edge to it.
+type NoVoteCert struct {
+	Round Round
+	Agg   AggSig
+}
+
+// Timeout is one party's signed statement that round Round timed out.
+type Timeout struct {
+	Round Round
+	Voter NodeID
+	Sig   SigBytes
+}
+
+// TimeoutCert aggregates 2f+1 timeouts for a round and lets parties advance
+// without waiting for the round's full quorum of vertices.
+type TimeoutCert struct {
+	Round Round
+	Agg   AggSig
+}
+
+// Vertex is the metadata unit of the DAG (Figure 4 of the paper). It carries
+// only the digest of its transaction block; the block itself is disseminated
+// separately (to a clan, in clan modes).
+type Vertex struct {
+	Round       Round
+	Source      NodeID
+	BlockDigest Hash
+	// StrongEdges reference >= 2f+1 vertices of Round-1.
+	StrongEdges []VertexRef
+	// WeakEdges reference earlier-round vertices not already reachable.
+	WeakEdges []VertexRef
+	// NVC authorizes a leader vertex that lacks a strong edge to the
+	// previous round's leader. Nil otherwise.
+	NVC *NoVoteCert
+	// TC justifies entering this round past a stalled previous round.
+	// Nil otherwise.
+	TC *TimeoutCert
+
+	// dig caches the digest. Valid only while the vertex is immutable —
+	// protocol code finalizes a vertex (NormalizeEdges) before first use.
+	dig *Hash
+}
+
+// Ref returns the canonical reference to v.
+func (v *Vertex) Ref() VertexRef {
+	return VertexRef{Round: v.Round, Source: v.Source, Digest: v.DigestCached()}
+}
+
+// DigestCached returns the digest, computing it at most once. Callers must
+// not mutate the vertex afterwards.
+func (v *Vertex) DigestCached() Hash {
+	if v.dig == nil {
+		d := v.Digest()
+		v.dig = &d
+	}
+	return *v.dig
+}
+
+// Pos returns v's (round, source) position.
+func (v *Vertex) Pos() Position { return Position{v.Round, v.Source} }
+
+// Digest hashes the canonical encoding of the vertex.
+func (v *Vertex) Digest() Hash {
+	return HashBytes(v.Marshal(nil))
+}
+
+// NormalizeEdges sorts edge lists so encoding is deterministic regardless of
+// the order edges were accumulated in.
+func (v *Vertex) NormalizeEdges() {
+	sort.Slice(v.StrongEdges, func(i, j int) bool { return v.StrongEdges[i].Less(v.StrongEdges[j]) })
+	sort.Slice(v.WeakEdges, func(i, j int) bool { return v.WeakEdges[i].Less(v.WeakEdges[j]) })
+}
+
+// HasStrongEdgeTo reports whether v has a strong edge to position p.
+func (v *Vertex) HasStrongEdgeTo(p Position) bool {
+	for _, e := range v.StrongEdges {
+		if e.Pos() == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal appends the canonical encoding of v to b.
+func (v *Vertex) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(v.Round))
+	b = PutUvarint(b, uint64(v.Source))
+	b = append(b, v.BlockDigest[:]...)
+	b = PutUvarint(b, uint64(len(v.StrongEdges)))
+	for _, e := range v.StrongEdges {
+		b = marshalRef(b, e)
+	}
+	b = PutUvarint(b, uint64(len(v.WeakEdges)))
+	for _, e := range v.WeakEdges {
+		b = marshalRef(b, e)
+	}
+	if v.NVC != nil {
+		b = append(b, 1)
+		b = PutUvarint(b, uint64(v.NVC.Round))
+		b = marshalAgg(b, v.NVC.Agg)
+	} else {
+		b = append(b, 0)
+	}
+	if v.TC != nil {
+		b = append(b, 1)
+		b = PutUvarint(b, uint64(v.TC.Round))
+		b = marshalAgg(b, v.TC.Agg)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// UnmarshalVertex decodes a vertex and returns the remaining bytes.
+func UnmarshalVertex(b []byte) (*Vertex, []byte, error) {
+	v := &Vertex{}
+	var u uint64
+	var err error
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, nil, err
+	}
+	v.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, nil, err
+	}
+	v.Source = NodeID(u)
+	if len(b) < 32 {
+		return nil, nil, fmt.Errorf("types: short vertex digest")
+	}
+	copy(v.BlockDigest[:], b[:32])
+	b = b[32:]
+	if v.StrongEdges, b, err = unmarshalRefs(b); err != nil {
+		return nil, nil, err
+	}
+	if v.WeakEdges, b, err = unmarshalRefs(b); err != nil {
+		return nil, nil, err
+	}
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("types: short vertex nvc flag")
+	}
+	if b[0] == 1 {
+		b = b[1:]
+		nvc := &NoVoteCert{}
+		if u, b, err = Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		nvc.Round = Round(u)
+		if nvc.Agg, b, err = unmarshalAgg(b); err != nil {
+			return nil, nil, err
+		}
+		v.NVC = nvc
+	} else {
+		b = b[1:]
+	}
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("types: short vertex tc flag")
+	}
+	if b[0] == 1 {
+		b = b[1:]
+		tc := &TimeoutCert{}
+		if u, b, err = Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		tc.Round = Round(u)
+		if tc.Agg, b, err = unmarshalAgg(b); err != nil {
+			return nil, nil, err
+		}
+		v.TC = tc
+	} else {
+		b = b[1:]
+	}
+	return v, b, nil
+}
+
+// WireSize returns the exact encoded size of v.
+func (v *Vertex) WireSize() int {
+	n := uvarintLen(uint64(v.Round)) + uvarintLen(uint64(v.Source)) + 32
+	n += uvarintLen(uint64(len(v.StrongEdges)))
+	for _, e := range v.StrongEdges {
+		n += refWireSize(e)
+	}
+	n += uvarintLen(uint64(len(v.WeakEdges)))
+	for _, e := range v.WeakEdges {
+		n += refWireSize(e)
+	}
+	n += 2 // nvc + tc flags
+	if v.NVC != nil {
+		n += uvarintLen(uint64(v.NVC.Round)) + v.NVC.Agg.WireSize()
+	}
+	if v.TC != nil {
+		n += uvarintLen(uint64(v.TC.Round)) + v.TC.Agg.WireSize()
+	}
+	return n
+}
+
+// Equal reports deep equality via canonical encodings.
+func (v *Vertex) Equal(o *Vertex) bool {
+	if v == nil || o == nil {
+		return v == o
+	}
+	return bytes.Equal(v.Marshal(nil), o.Marshal(nil))
+}
+
+func marshalRef(b []byte, r VertexRef) []byte {
+	b = PutUvarint(b, uint64(r.Round))
+	b = PutUvarint(b, uint64(r.Source))
+	return append(b, r.Digest[:]...)
+}
+
+func refWireSize(r VertexRef) int {
+	return uvarintLen(uint64(r.Round)) + uvarintLen(uint64(r.Source)) + 32
+}
+
+func unmarshalRef(b []byte) (VertexRef, []byte, error) {
+	var r VertexRef
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return r, nil, err
+	}
+	r.Round = Round(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return r, nil, err
+	}
+	r.Source = NodeID(u)
+	if len(b) < 32 {
+		return r, nil, fmt.Errorf("types: short ref digest")
+	}
+	copy(r.Digest[:], b[:32])
+	return r, b[32:], nil
+}
+
+func unmarshalRefs(b []byte) ([]VertexRef, []byte, error) {
+	cnt, b, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cnt > uint64(len(b)/32+1) {
+		return nil, nil, fmt.Errorf("types: ref count %d exceeds buffer", cnt)
+	}
+	refs := make([]VertexRef, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		var r VertexRef
+		if r, b, err = unmarshalRef(b); err != nil {
+			return nil, nil, err
+		}
+		refs = append(refs, r)
+	}
+	return refs, b, nil
+}
+
+func marshalAgg(b []byte, a AggSig) []byte {
+	b = append(b, a.Tag[:]...)
+	b = PutUvarint(b, uint64(len(a.Bitmap)))
+	return append(b, a.Bitmap...)
+}
+
+func unmarshalAgg(b []byte) (AggSig, []byte, error) {
+	var a AggSig
+	if len(b) < 32 {
+		return a, nil, fmt.Errorf("types: short agg tag")
+	}
+	copy(a.Tag[:], b[:32])
+	b = b[32:]
+	n, b, err := Uvarint(b)
+	if err != nil {
+		return a, nil, err
+	}
+	if n > uint64(len(b)) {
+		return a, nil, fmt.Errorf("types: bitmap length %d exceeds buffer", n)
+	}
+	a.Bitmap = make([]byte, n)
+	copy(a.Bitmap, b[:n])
+	return a, b[n:], nil
+}

@@ -1,0 +1,276 @@
+// Package xshard implements cross-clan (cross-shard) transactions for the
+// multi-clan protocol — the paper's Section 6.1 future-work direction
+// ("cross-shard transactions require synchronization across shards, handled
+// by protocols like two-phase commit").
+//
+// The multi-clan design makes this lighter than classical 2PC: every party
+// already orders EVERY vertex, so a cross-shard transaction has one global
+// serialization point for free. What the target shard lacks is the payload
+// (blocks travel only inside the proposer's clan). The bridge is an *effect
+// certificate*: executors of the source clan run the transaction's local
+// half, and each emits a signed effect describing the remote half; f_c+1
+// matching signatures prove at least one honest source executor stands
+// behind the effect — the same trust argument as client responses — and the
+// target clan's executors apply certified effects deterministically,
+// ordered by their global positions.
+//
+// Semantics: source-shard state transitions apply at the transaction's
+// global order position; target-shard transitions apply when the effect
+// certificate completes (bounded by one certificate round-trip), exactly
+// once, anchored to the transaction's global position. Effects that certify
+// together apply in position order; effects that certify at different times
+// apply in certification order — strict cross-key serialization against
+// other shards' traffic would require the target to know which foreign
+// positions carry effects (i.e. a prepare phase, classical 2PC), which is
+// exactly the trade-off the paper leaves as future work. Applications
+// needing stronger cross-shard isolation should keep conflicting keys on
+// one shard or layer a commit protocol above this package.
+package xshard
+
+import (
+	"sort"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/execution"
+	"clanbft/internal/types"
+)
+
+// CrossOp is the remote half of a cross-shard transaction: a KV write to be
+// applied on the target shard.
+const CrossOp byte = 9
+
+// Tx is a cross-shard transfer-style transaction: apply Local on the
+// proposer's shard and Remote on the target shard, atomically anchored at
+// the transaction's global order position.
+type Tx struct {
+	TargetClan types.ClanID
+	Local      execution.Tx
+	Remote     execution.Tx
+}
+
+// Encode serializes a cross-shard transaction (distinguished from plain
+// execution transactions by the leading CrossOp byte).
+func Encode(t Tx) []byte {
+	b := []byte{CrossOp, byte(t.TargetClan)}
+	lb := execution.EncodeTx(t.Local)
+	b = types.PutUvarint(b, uint64(len(lb)))
+	b = append(b, lb...)
+	rb := execution.EncodeTx(t.Remote)
+	b = types.PutUvarint(b, uint64(len(rb)))
+	return append(b, rb...)
+}
+
+// Decode parses a cross-shard transaction.
+func Decode(raw []byte) (Tx, bool) {
+	if len(raw) < 2 || raw[0] != CrossOp {
+		return Tx{}, false
+	}
+	t := Tx{TargetClan: types.ClanID(raw[1])}
+	b := raw[2:]
+	n, b, err := types.Uvarint(b)
+	if err != nil || n > uint64(len(b)) {
+		return Tx{}, false
+	}
+	var ok bool
+	if t.Local, ok = execution.DecodeTx(b[:n]); !ok {
+		return Tx{}, false
+	}
+	b = b[n:]
+	if n, b, err = types.Uvarint(b); err != nil || n > uint64(len(b)) {
+		return Tx{}, false
+	}
+	if t.Remote, ok = execution.DecodeTx(b[:n]); !ok {
+		return Tx{}, false
+	}
+	return t, true
+}
+
+// Effect is one source executor's signed statement of a remote half.
+type Effect struct {
+	// Pos and Index anchor the effect at its global serialization point
+	// (the vertex position and the transaction's index within the block).
+	Pos        types.Position
+	Index      int
+	TargetClan types.ClanID
+	Remote     []byte // encoded execution.Tx
+	Executor   types.NodeID
+	Sig        types.SigBytes
+}
+
+func effectCtx(e *Effect) []byte {
+	b := make([]byte, 0, 96)
+	b = append(b, 'X')
+	b = types.PutUvarint(b, uint64(e.Pos.Round))
+	b = types.PutUvarint(b, uint64(e.Pos.Source))
+	b = types.PutUvarint(b, uint64(e.Index))
+	b = types.PutUvarint(b, uint64(e.TargetClan))
+	return append(b, e.Remote...)
+}
+
+// effectKey orders effects by global position.
+type effectKey struct {
+	round  types.Round
+	source types.NodeID
+	index  int
+}
+
+func (k effectKey) less(o effectKey) bool {
+	if k.round != o.round {
+		return k.round < o.round
+	}
+	if k.source != o.source {
+		return k.source < o.source
+	}
+	return k.index < o.index
+}
+
+// Coordinator runs on one party: it executes local halves during Apply,
+// emits signed effects for remote halves, and applies certified inbound
+// effects to the local executor in deterministic order.
+type Coordinator struct {
+	self     types.NodeID
+	selfClan types.ClanID
+	clanOf   func(types.NodeID) types.ClanID
+	fcOf     []int
+	key      *crypto.KeyPair
+	reg      *crypto.Registry
+	exec     *execution.Executor
+
+	// EmitEffect ships an effect towards the target clan's members (the
+	// application wires this; in-process demos call Coordinator.AddEffect
+	// on the targets directly).
+	EmitEffect func(Effect)
+
+	pending map[effectKey]map[types.NodeID]bool
+	certified map[effectKey][]byte
+	applied map[effectKey]bool
+
+	// Metrics.
+	LocalTxs, CrossEmitted, CrossApplied int
+}
+
+// New creates a coordinator for one party. clans is the full partition;
+// exec is the party's state machine (nil for parties outside every clan).
+func New(self types.NodeID, clans [][]types.NodeID, key *crypto.KeyPair, reg *crypto.Registry, exec *execution.Executor) *Coordinator {
+	clanOfMap := map[types.NodeID]types.ClanID{}
+	var fcs []int
+	selfClan := types.NoClan
+	for ci, clan := range clans {
+		fcs = append(fcs, committee.ClanMaxFaulty(len(clan)))
+		for _, id := range clan {
+			clanOfMap[id] = types.ClanID(ci)
+			if id == self {
+				selfClan = types.ClanID(ci)
+			}
+		}
+	}
+	return &Coordinator{
+		self:     self,
+		selfClan: selfClan,
+		clanOf: func(id types.NodeID) types.ClanID {
+			if c, ok := clanOfMap[id]; ok {
+				return c
+			}
+			return types.NoClan
+		},
+		fcOf:      fcs,
+		key:       key,
+		reg:       reg,
+		exec:      exec,
+		pending:   map[effectKey]map[types.NodeID]bool{},
+		certified: map[effectKey][]byte{},
+		applied:   map[effectKey]bool{},
+	}
+}
+
+// Apply consumes one committed vertex (wire as the consensus Deliver
+// callback). Blocks this party holds are executed: plain transactions and
+// local halves run immediately; remote halves of cross-shard transactions
+// are signed and emitted as effects.
+func (c *Coordinator) Apply(cv core.CommittedVertex) {
+	if cv.Block == nil || cv.Block.IsSynthetic() || c.exec == nil {
+		return
+	}
+	pos := cv.Vertex.Pos()
+	for idx, raw := range cv.Block.Txs {
+		xt, ok := Decode(raw)
+		if !ok {
+			// Plain single-shard transaction.
+			c.exec.Apply(core.CommittedVertex{Vertex: cv.Vertex, Block: &types.Block{Txs: [][]byte{raw}}})
+			c.LocalTxs++
+			continue
+		}
+		// Local half executes at the global position.
+		c.exec.Apply(core.CommittedVertex{Vertex: cv.Vertex, Block: &types.Block{Txs: [][]byte{execution.EncodeTx(xt.Local)}}})
+		c.LocalTxs++
+		// Remote half: sign and emit the effect.
+		e := Effect{
+			Pos: pos, Index: idx, TargetClan: xt.TargetClan,
+			Remote:   execution.EncodeTx(xt.Remote),
+			Executor: c.self,
+		}
+		e.Sig = c.reg.SignFor(c.key, effectCtx(&e))
+		c.CrossEmitted++
+		if c.EmitEffect != nil {
+			c.EmitEffect(e)
+		}
+	}
+}
+
+// AddEffect ingests one effect from a source-clan executor. Invalid
+// signatures and foreign targets are dropped. Once f_c+1 (of the SOURCE
+// clan) matching effects arrive, the remote half is applied exactly once
+// (see ApplyReady for ordering).
+func (c *Coordinator) AddEffect(e Effect) {
+	if e.TargetClan != c.selfClan || c.exec == nil {
+		return
+	}
+	srcClan := c.clanOf(e.Pos.Source)
+	if srcClan == types.NoClan || srcClan == c.selfClan {
+		return
+	}
+	if !c.reg.Verify(e.Executor, effectCtx(&e), e.Sig) {
+		return
+	}
+	if c.clanOf(e.Executor) != srcClan {
+		return // only source-clan executors can attest the effect
+	}
+	k := effectKey{e.Pos.Round, e.Pos.Source, e.Index}
+	if c.applied[k] {
+		return
+	}
+	voters, ok := c.pending[k]
+	if !ok {
+		voters = map[types.NodeID]bool{}
+		c.pending[k] = voters
+	}
+	voters[e.Executor] = true
+	if len(voters) >= c.fcOf[srcClan]+1 {
+		c.certified[k] = e.Remote
+		delete(c.pending, k)
+		c.ApplyReady()
+	}
+}
+
+// ApplyReady applies all currently certified effects, ordered among
+// themselves by global position (a deterministic tie-break for effects
+// certifying in one batch).
+func (c *Coordinator) ApplyReady() {
+	keys := make([]effectKey, 0, len(c.certified))
+	for k := range c.certified {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		raw := c.certified[k]
+		delete(c.certified, k)
+		c.applied[k] = true
+		c.exec.Apply(core.CommittedVertex{
+			Vertex: &types.Vertex{Round: k.round, Source: k.source},
+			Block:  &types.Block{Txs: [][]byte{raw}},
+		})
+		c.CrossApplied++
+	}
+}

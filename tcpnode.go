@@ -1,0 +1,155 @@
+package clanbft
+
+import (
+	"fmt"
+	"time"
+
+	"clanbft/internal/committee"
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/mempool"
+	"clanbft/internal/store"
+	"clanbft/internal/transport"
+	"clanbft/internal/types"
+)
+
+// TCPNodeOptions configures one real-socket consensus node. Every node in
+// the deployment must share N, Mode, clan parameters, and Seed (keys and
+// clan sampling are derived deterministically from the seed so that a
+// deployment can be bootstrapped without a key-exchange ceremony; a
+// production deployment would load per-party keys from a PKI instead).
+type TCPNodeOptions struct {
+	Self  NodeID
+	Addrs map[NodeID]string // full address book, including Self
+	Options
+}
+
+// TCPNode is a single consensus party bound to a TCP endpoint.
+type TCPNode struct {
+	ep       *transport.TCPEndpoint
+	node     *core.Node
+	pool     *mempool.Pool
+	st       store.Store
+	clans    [][]types.NodeID
+	opts     TCPNodeOptions
+	onCommit []func(Commit)
+	started  bool
+}
+
+// NewTCPNode creates (but does not start) a node listening on
+// Addrs[Self].
+func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
+	if err := o.fill(); err != nil {
+		return nil, err
+	}
+	if len(o.Addrs) != o.N {
+		return nil, fmt.Errorf("clanbft: address book has %d entries, need %d", len(o.Addrs), o.N)
+	}
+	keys := crypto.GenerateKeys(o.N, uint64(o.Seed)+1)
+	reg := crypto.NewRegistry(keys, !o.NoCheckSigs)
+
+	var clans [][]types.NodeID
+	switch o.Mode {
+	case ModeSingleClan:
+		size := o.ClanSize
+		if size == 0 {
+			size = PlanClanSize(o.N, o.FailureProb)
+		}
+		clans = [][]types.NodeID{committee.SampleClan(o.N, size, o.Seed+2)}
+	case ModeMultiClan:
+		clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
+	}
+
+	ep, err := transport.NewTCPEndpoint(o.Self, o.Addrs)
+	if err != nil {
+		return nil, err
+	}
+	n := &TCPNode{ep: ep, clans: clans, opts: o, pool: mempool.NewPool(o.MaxTxPerBlock)}
+	var st store.Store
+	if o.StoreDir != "" {
+		disk, err := store.Open(o.StoreDir, store.Options{})
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		st = disk
+		n.st = disk
+	}
+	n.node = core.New(core.Config{
+		Self:            o.Self,
+		N:               o.N,
+		Mode:            o.Mode,
+		Clans:           clans,
+		Key:             &keys[o.Self],
+		Reg:             reg,
+		Costs:           crypto.ZeroCosts(),
+		Store:           st,
+		Blocks:          n.pool,
+		LeadersPerRound: o.LeadersPerRound,
+		RoundTimeout:    o.RoundTimeout,
+		Deliver: func(cv core.CommittedVertex) {
+			for _, fn := range n.onCommit {
+				fn(cv)
+			}
+		},
+	}, ep, ep.Clock())
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *TCPNode) Addr() string { return n.ep.Addr() }
+
+// OnCommit registers a total-order callback. Must precede Start.
+func (n *TCPNode) OnCommit(fn func(Commit)) {
+	if n.started {
+		panic("clanbft: OnCommit after Start")
+	}
+	n.onCommit = append(n.onCommit, fn)
+}
+
+// Start begins participating in consensus.
+func (n *TCPNode) Start() {
+	n.started = true
+	n.node.Start()
+}
+
+// Submit queues a transaction for this node's next proposal. Only block
+// proposers (clan members in single-clan mode) include payloads; submitting
+// elsewhere queues transactions that will never be proposed.
+func (n *TCPNode) Submit(tx []byte) { n.pool.Submit(tx) }
+
+// Clans returns the deployment's clan composition.
+func (n *TCPNode) Clans() [][]NodeID { return n.clans }
+
+// Metrics returns the node's consensus counters.
+func (n *TCPNode) Metrics() core.Metrics { return n.node.MetricsSnapshot() }
+
+// Round returns the node's current round.
+func (n *TCPNode) Round() types.Round { return n.node.Round() }
+
+// Stats returns transport-level traffic counters.
+func (n *TCPNode) Stats() transport.Stats { return n.ep.Stats() }
+
+// Close shuts the node down.
+func (n *TCPNode) Close() error {
+	err := n.ep.Close()
+	if n.st != nil {
+		if cerr := n.st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// WaitRound blocks until the node passes round r or the timeout elapses,
+// returning whether the round was reached (convenience for tests/tools).
+func (n *TCPNode) WaitRound(r types.Round, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.node.Round() >= r {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return n.node.Round() >= r
+}
