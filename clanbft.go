@@ -81,6 +81,13 @@ type Options struct {
 	// CheckSigs enables real signature verification (default on —
 	// simulation harnesses turn it off and model CPU costs instead).
 	NoCheckSigs bool
+	// SerialVerify disables the parallel verification pipeline, forcing
+	// every signature check back onto the node's serialized handler
+	// goroutine (benchmarking/debugging only; default off). With
+	// verification enabled, nodes normally pre-verify inbound signatures
+	// on a GOMAXPROCS-wide crypto.VerifyPool so one core can no longer
+	// bottleneck the whole node.
+	SerialVerify bool
 	// StoreDir persists consensus state under this directory (one
 	// subdirectory per node); empty keeps everything in memory.
 	StoreDir string
@@ -135,6 +142,7 @@ type Cluster struct {
 	keys         []crypto.KeyPair
 	reg          *crypto.Registry
 	stores       []store.Store
+	vpool        *crypto.VerifyPool
 	onCommit     [][]func(Commit)
 	started      bool
 	submitCursor int
@@ -165,6 +173,15 @@ func NewCluster(o Options) (*Cluster, error) {
 		c.clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
 	}
 
+	// With real signature checking on, front every node's mailbox with a
+	// shared verification pool: signatures verify in parallel across
+	// cores, handlers apply already-verified messages in order.
+	verifyCores := 0
+	if c.reg.CheckSigs && !o.SerialVerify {
+		c.vpool = crypto.NewVerifyPool(0, 0)
+		verifyCores = c.vpool.Workers()
+	}
+
 	for i := 0; i < o.N; i++ {
 		i := i
 		id := types.NodeID(i)
@@ -190,6 +207,7 @@ func NewCluster(o Options) (*Cluster, error) {
 			Blocks:          c.pools[i],
 			LeadersPerRound: o.LeadersPerRound,
 			RoundTimeout:    o.RoundTimeout,
+			VerifyCores:     verifyCores,
 			Deliver: func(cv core.CommittedVertex) {
 				for _, fn := range c.onCommit[i] {
 					fn(cv)
@@ -197,6 +215,11 @@ func NewCluster(o Options) (*Cluster, error) {
 			},
 		}, c.net.Endpoint(id), c.net.Clock(id))
 		c.nodes = append(c.nodes, node)
+		if c.vpool != nil {
+			if ve, ok := c.net.Endpoint(id).(transport.VerifyingEndpoint); ok {
+				ve.SetVerifier(node.Verifier(), c.vpool)
+			}
+		}
 	}
 	return c, nil
 }
@@ -298,6 +321,9 @@ func (c *Cluster) Round(i int) types.Round { return c.nodes[i].Round() }
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
 	c.net.Close()
+	if c.vpool != nil {
+		c.vpool.Close()
+	}
 	for _, st := range c.stores {
 		st.Close()
 	}

@@ -119,6 +119,14 @@ type Config struct {
 	// GCDepth is how many rounds behind the last ordered leader round the
 	// DAG retains (default 64).
 	GCDepth int
+
+	// VerifyCores declares how many cores verify inbound signatures in
+	// parallel. When > 1, signature-verification work (EdVerify, AggVerify)
+	// is charged to the clock at Costs.Parallel(VerifyCores) rates — the
+	// accounting counterpart of running a crypto.VerifyPool in front of the
+	// mailbox (wire one up via transport.VerifyingEndpoint + Verifier).
+	// 0 or 1 models the serial inline path.
+	VerifyCores int
 }
 
 func (c *Config) fill() {
@@ -169,6 +177,11 @@ type Node struct {
 	cfg Config
 	ep  transport.Endpoint
 	clk transport.Clock
+
+	// vcosts carries the verification charge rates: cfg.Costs divided
+	// across cfg.VerifyCores when the verify pool is active (the paper
+	// parallelizes aggregate verification), cfg.Costs itself otherwise.
+	vcosts crypto.Costs
 
 	// Clan topology.
 	clanOf   []types.ClanID          // proposer -> clan (NoClan if none)
@@ -307,6 +320,10 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 		lateVertices:     map[types.Position]*types.Vertex{},
 		selfClan:         types.NoClan,
 		scratchSeen:      make([]bool, cfg.N),
+	}
+	n.vcosts = cfg.Costs
+	if cfg.VerifyCores > 1 {
+		n.vcosts = cfg.Costs.Parallel(cfg.VerifyCores)
 	}
 	n.clanOf = make([]types.ClanID, cfg.N)
 	for i := range n.clanOf {

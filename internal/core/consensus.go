@@ -57,7 +57,7 @@ func (n *Node) validateVertex(v *types.Vertex) bool {
 	}
 	prev := v.Round - 1
 	if !v.HasStrongEdgeTo(types.Position{Round: prev, Source: n.leader(prev)}) {
-		if v.TC == nil || v.TC.Round != prev || !n.validTC(v.TC) {
+		if v.TC == nil || v.TC.Round != prev || !n.validTC(v.TC, false) {
 			return false
 		}
 		if v.Source == n.leader(v.Round) {
@@ -69,12 +69,15 @@ func (n *Node) validateVertex(v *types.Vertex) bool {
 	return true
 }
 
-func (n *Node) validTC(tc *types.TimeoutCert) bool {
+// validTC checks a timeout certificate. preVerified skips the aggregate
+// check when the transport's verify pool already ran it (TCMsg traffic);
+// certificates embedded in vertices always verify inline.
+func (n *Node) validTC(tc *types.TimeoutCert, preVerified bool) bool {
 	if types.BitmapCount(tc.Agg.Bitmap) < 2*n.cfg.F+1 {
 		return false
 	}
-	ok := n.cfg.Reg.VerifyAgg(timeoutCtx(tc.Round), tc.Agg)
-	n.clk.Charge(n.cfg.Costs.AggVerify)
+	ok := preVerified || n.cfg.Reg.VerifyAgg(timeoutCtx(tc.Round), tc.Agg)
+	n.clk.Charge(n.vcosts.AggVerify)
 	return ok
 }
 
@@ -83,7 +86,7 @@ func (n *Node) validNVC(nvc *types.NoVoteCert) bool {
 		return false
 	}
 	ok := n.cfg.Reg.VerifyAgg(novoteCtx(nvc.Round), nvc.Agg)
-	n.clk.Charge(n.cfg.Costs.AggVerify)
+	n.clk.Charge(n.vcosts.AggVerify)
 	return ok
 }
 
@@ -389,10 +392,10 @@ func (n *Node) onTimeout(from types.NodeID, m *types.TimeoutMsg) {
 		return
 	}
 	ctx := timeoutCtx(r)
-	if !n.cfg.Reg.Verify(m.TO.Voter, ctx, m.TO.Sig) {
+	if !m.PreVerified() && !n.cfg.Reg.Verify(m.TO.Voter, ctx, m.TO.Sig) {
 		return
 	}
-	n.clk.Charge(n.cfg.Costs.EdVerify)
+	n.clk.Charge(n.vcosts.EdVerify)
 	agg, ok := n.timeoutAggs[r]
 	if !ok {
 		agg = crypto.NewAggregator(n.cfg.N)
@@ -417,7 +420,7 @@ func (n *Node) onTCMsg(from types.NodeID, m *types.TCMsg) {
 	if n.tcs[r] != nil || r < n.dag.MinRound() {
 		return
 	}
-	if !n.validTC(&m.TC) {
+	if !n.validTC(&m.TC, m.PreVerified()) {
 		return
 	}
 	tc := m.TC
@@ -434,10 +437,10 @@ func (n *Node) onNoVote(from types.NodeID, m *types.NoVoteMsg) {
 		return // no-votes are addressed to the next round's leader
 	}
 	ctx := novoteCtx(r)
-	if !n.cfg.Reg.Verify(m.NV.Voter, ctx, m.NV.Sig) {
+	if !m.PreVerified() && !n.cfg.Reg.Verify(m.NV.Voter, ctx, m.NV.Sig) {
 		return
 	}
-	n.clk.Charge(n.cfg.Costs.EdVerify)
+	n.clk.Charge(n.vcosts.EdVerify)
 	agg, ok := n.novoteAggs[r]
 	if !ok {
 		agg = crypto.NewAggregator(n.cfg.N)

@@ -206,6 +206,9 @@ func TestSingleClanLivenessAndBlockConfinement(t *testing.T) {
 }
 
 func TestMultiClanLivenessAndBlockConfinement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	n := 12
 	clans := committee.PartitionClans(n, 2, 9)
 	clanOf := map[types.NodeID]int{}
@@ -361,6 +364,9 @@ func TestEquivocatingProposerSafety(t *testing.T) {
 // non-clan proposer carrying a payload digest is invalid and must not be
 // delivered, while the protocol keeps running.
 func TestNonClanBlockProposalRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	n := 10
 	clan := []types.NodeID{0, 1, 2, 3, 4, 5}
 	var outsider types.NodeID = 9
@@ -391,6 +397,9 @@ func TestNonClanBlockProposalRejected(t *testing.T) {
 // TestGCBoundsState: long runs must not accumulate unbounded per-instance
 // state.
 func TestGCBoundsState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation (hundreds of rounds)")
+	}
 	n := 4
 	c := newTCluster(t, n, topt{mode: ModeBaseline, uniform: true, txCount: 1})
 	c.net.Run(60 * time.Second) // hundreds of rounds at 100ms each
@@ -697,6 +706,9 @@ func TestMultiLeaderLivenessAndSafety(t *testing.T) {
 // vertices sit directly under a 3-delta commit, so average commit latency
 // drops versus single-leader (the multi-leader motivation).
 func TestMultiLeaderLowersNonPrimaryLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-leader latency sweep")
+	}
 	measure := func(leaders int) time.Duration {
 		n := 8
 		net := simnet.New(simnet.Config{N: n, Seed: 5, LatencyRTTms: [][]float64{{100}}, JitterPct: -1})
@@ -737,6 +749,9 @@ func TestMultiLeaderLowersNonPrimaryLatency(t *testing.T) {
 // TestMultiLeaderWithClanModes: the clan technique composes with
 // multi-leader consensus unchanged.
 func TestMultiLeaderWithClanModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
 	clan := []types.NodeID{0, 1, 2, 3, 4, 5}
 	c := newTClusterML(t, 10, 2, topt{mode: ModeSingleClan, clans: [][]types.NodeID{clan}})
 	c.net.Run(8 * time.Second)

@@ -67,6 +67,11 @@ type Config struct {
 	PullRetry time.Duration
 	// Deliver receives each delivery exactly once per (sender, seq).
 	Deliver func(Event)
+	// VerifyCores > 1 charges signature-verification costs at
+	// Costs.Parallel(VerifyCores) rates, matching a transport-level
+	// crypto.VerifyPool (see Node.Verifier). 0 or 1 models the serial
+	// inline path.
+	VerifyCores int
 }
 
 // Node runs RBC instances multiplexed over one endpoint. The internal mutex
@@ -82,6 +87,9 @@ type Node struct {
 	fc       int
 	insts    map[instKey]*inst
 	pruned   uint64
+	// vcosts charges verification at parallel rates when a verify pool
+	// fronts the mailbox (cfg.VerifyCores > 1).
+	vcosts crypto.Costs
 }
 
 type instKey struct {
@@ -126,10 +134,14 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 		cfg.PullRetry = 200 * time.Millisecond
 	}
 	n := &Node{
-		cfg:   cfg,
-		ep:    ep,
-		clk:   clk,
-		insts: map[instKey]*inst{},
+		cfg:    cfg,
+		ep:     ep,
+		clk:    clk,
+		insts:  map[instKey]*inst{},
+		vcosts: cfg.Costs,
+	}
+	if cfg.VerifyCores > 1 {
+		n.vcosts = cfg.Costs.Parallel(cfg.VerifyCores)
 	}
 	if cfg.Clan != nil {
 		n.inClan = map[types.NodeID]bool{}
@@ -152,6 +164,39 @@ func (n *Node) Attach() {
 			n.Handle(from, bm)
 		}
 	})
+}
+
+// Verifier returns a transport.Verifier that pre-verifies Bcast signatures
+// on crypto.VerifyPool workers before messages enter the serialized mailbox
+// (see core.Node.Verifier for the architecture). Only the two-round variant
+// signs messages; everything else passes through unmarked. The function
+// reads only immutable config, so it is safe on concurrent pool workers.
+func (n *Node) Verifier() transport.Verifier {
+	reg := n.cfg.Reg
+	return func(from types.NodeID, m types.Message) bool {
+		bm, ok := m.(*types.BcastMsg)
+		if !ok || !n.cfg.TwoRound || !reg.CheckSigs {
+			return true
+		}
+		switch bm.K {
+		case types.KindBVal:
+			if !reg.Verify(bm.Sender, voteCtx(types.KindBVal, bm.Sender, bm.Seq, bm.Digest), bm.Sig) {
+				return false
+			}
+			bm.MarkVerified()
+		case types.KindBEcho:
+			if !reg.Verify(bm.Voter, voteCtx(types.KindBEcho, bm.Sender, bm.Seq, bm.Digest), bm.Sig) {
+				return false
+			}
+			bm.MarkVerified()
+		case types.KindBCert:
+			if !reg.VerifyAgg(voteCtx(types.KindBEcho, bm.Sender, bm.Seq, bm.Digest), bm.Agg) {
+				return false
+			}
+			bm.MarkVerified()
+		}
+		return true
+	}
 }
 
 // payloadRecipient reports whether id receives full payloads.
@@ -293,11 +338,11 @@ func (n *Node) onVal(from types.NodeID, m *types.BcastMsg) {
 		in.digest, in.hasDigest = digest, true
 		return
 	}
-	if n.cfg.TwoRound && !n.cfg.Reg.Verify(m.Sender, voteCtx(types.KindBVal, m.Sender, m.Seq, m.Digest), m.Sig) {
+	if n.cfg.TwoRound && !m.PreVerified() && !n.cfg.Reg.Verify(m.Sender, voteCtx(types.KindBVal, m.Sender, m.Seq, m.Digest), m.Sig) {
 		return
 	}
 	if n.cfg.TwoRound {
-		n.clk.Charge(n.cfg.Costs.EdVerify)
+		n.clk.Charge(n.vcosts.EdVerify)
 	}
 	in.digest, in.hasDigest = digest, true
 	n.sendEcho(m.Sender, m.Seq, digest, in)
@@ -353,10 +398,10 @@ func (n *Node) onEcho(from types.NodeID, m *types.BcastMsg) {
 	}
 	ctx := voteCtx(types.KindBEcho, m.Sender, m.Seq, m.Digest)
 	if n.cfg.TwoRound {
-		if !n.cfg.Reg.Verify(m.Voter, ctx, m.Sig) {
+		if !m.PreVerified() && !n.cfg.Reg.Verify(m.Voter, ctx, m.Sig) {
 			return
 		}
-		n.clk.Charge(n.cfg.Costs.EdVerify)
+		n.clk.Charge(n.vcosts.EdVerify)
 		votes[m.Voter] = n.cfg.Reg.PartialFor(m.Voter, ctx)
 		n.clk.Charge(n.cfg.Costs.AggFold)
 	} else {
@@ -434,10 +479,10 @@ func (n *Node) onCert(from types.NodeID, m *types.BcastMsg) {
 	// The aggregate is over the per-voter echo contexts; under the
 	// simulated scheme all voters sign the identical context string.
 	ctx := voteCtx(types.KindBEcho, m.Sender, m.Seq, m.Digest)
-	if !verifyAggOverSameCtx(n.cfg.Reg, ctx, m.Agg) {
+	if !m.PreVerified() && !verifyAggOverSameCtx(n.cfg.Reg, ctx, m.Agg) {
 		return
 	}
-	n.clk.Charge(n.cfg.Costs.AggVerify)
+	n.clk.Charge(n.vcosts.AggVerify)
 	in.quorumDigest, in.hasQuorumDigest = m.Digest, true
 	if !in.certSent {
 		// Forward the certificate once so every party delivers even if

@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"clanbft/internal/crypto"
 	"clanbft/internal/types"
 )
 
@@ -38,10 +40,14 @@ type TCPEndpoint struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	msgsSent  atomic.Uint64
-	bytesSent atomic.Uint64
-	msgsRecv  atomic.Uint64
-	bytesRecv atomic.Uint64
+	verify atomic.Pointer[verifyStage]
+
+	msgsSent    atomic.Uint64
+	bytesSent   atomic.Uint64
+	msgsRecv    atomic.Uint64
+	bytesRecv   atomic.Uint64
+	msgsDropped atomic.Uint64
+	vc          verifyCounters
 }
 
 type peerConn struct {
@@ -92,23 +98,33 @@ func (e *TCPEndpoint) SetHandler(h Handler) {
 	e.mb.start()
 }
 
+// SetVerifier installs a pre-verification stage (see VerifyingEndpoint):
+// inbound frames are signature-checked on pool workers before their turn in
+// the serialized mailbox. Call before traffic arrives.
+func (e *TCPEndpoint) SetVerifier(v Verifier, pool *crypto.VerifyPool) {
+	e.verify.Store(&verifyStage{verifier: v, pool: pool})
+}
+
 func (e *TCPEndpoint) Send(to types.NodeID, m types.Message) {
 	if to == e.id {
-		e.mb.push(task{from: e.id, msg: m})
+		dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
 		return
 	}
 	frame := types.Encode(m, nil)
-	e.msgsSent.Add(1)
-	e.bytesSent.Add(uint64(len(frame)))
 	p := e.peer(to)
 	if p == nil {
+		e.msgsDropped.Add(1)
 		return
 	}
 	select {
 	case p.out <- frame:
+		// Count only frames actually enqueued toward the wire.
+		e.msgsSent.Add(1)
+		e.bytesSent.Add(uint64(len(frame)))
 	default:
 		// Queue full: drop. The protocol layer tolerates loss before
 		// GST; steady-state queues never fill at sane loads.
+		e.msgsDropped.Add(1)
 	}
 }
 
@@ -125,12 +141,15 @@ func (e *TCPEndpoint) Broadcast(m types.Message) {
 }
 
 func (e *TCPEndpoint) Stats() Stats {
-	return Stats{
-		MsgsSent:  e.msgsSent.Load(),
-		BytesSent: e.bytesSent.Load(),
-		MsgsRecv:  e.msgsRecv.Load(),
-		BytesRecv: e.bytesRecv.Load(),
+	s := Stats{
+		MsgsSent:    e.msgsSent.Load(),
+		BytesSent:   e.bytesSent.Load(),
+		MsgsRecv:    e.msgsRecv.Load(),
+		BytesRecv:   e.bytesRecv.Load(),
+		MsgsDropped: e.msgsDropped.Load(),
 	}
+	e.vc.fill(&s)
+	return s
 }
 
 // peer returns (creating if needed) the outbound connection state for id.
@@ -150,6 +169,24 @@ func (e *TCPEndpoint) peer(id types.NodeID) *peerConn {
 	return p
 }
 
+// reconnectBackoff is the initial (and post-success reset) reconnect delay;
+// maxReconnectBackoff caps the exponential growth.
+const (
+	reconnectBackoff    = 50 * time.Millisecond
+	maxReconnectBackoff = 2 * time.Second
+)
+
+// jittered returns a uniformly random duration in [d/2, d]. Reconnect sleeps
+// are jittered so that a tribe whose peer restarts does not hammer it with
+// synchronized redial storms.
+func jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 	defer e.wg.Done()
 	var conn net.Conn
@@ -158,8 +195,25 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 			conn.Close()
 		}
 	}()
-	backoff := 50 * time.Millisecond
-	hdr := make([]byte, 4)
+	backoff := reconnectBackoff
+	// buf coalesces the 4-byte length header and the frame into one
+	// conn.Write, so a frame costs a single syscall and the header can
+	// never be flushed in its own segment. Reused (and grown) across
+	// frames.
+	buf := make([]byte, 0, 64<<10)
+	// sleepBackoff waits out the current (jittered) backoff, doubling it
+	// for next time; it returns false when the peer entry was closed.
+	sleepBackoff := func() bool {
+		select {
+		case <-p.closed:
+			return false
+		case <-time.After(jittered(backoff)):
+		}
+		if backoff < maxReconnectBackoff {
+			backoff *= 2
+		}
+		return true
+	}
 	for {
 		select {
 		case <-p.closed:
@@ -168,39 +222,47 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 			for conn == nil {
 				c, err := net.DialTimeout("tcp", e.addrs[id], 2*time.Second)
 				if err != nil {
-					select {
-					case <-p.closed:
+					if !sleepBackoff() {
 						return
-					case <-time.After(backoff):
-					}
-					if backoff < 2*time.Second {
-						backoff *= 2
 					}
 					continue
 				}
-				// Handshake: announce who is dialing.
+				// Handshake: announce who is dialing. A half-open peer
+				// (accepting but not reading) must neither wedge the
+				// writer nor trigger a tight redial spin, so the write
+				// is bounded by a deadline and a failure takes the same
+				// backoff path as a failed dial.
 				var hello [2]byte
 				binary.BigEndian.PutUint16(hello[:], uint16(e.id))
+				c.SetWriteDeadline(time.Now().Add(5 * time.Second))
 				if _, err := c.Write(hello[:]); err != nil {
 					c.Close()
+					if !sleepBackoff() {
+						return
+					}
 					continue
 				}
 				conn = c
-				backoff = 50 * time.Millisecond
+				backoff = reconnectBackoff
 			}
 			// A peer that stops reading must not wedge the writer
 			// forever: bound each frame write.
-			conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
-			binary.BigEndian.PutUint32(hdr, uint32(len(frame)))
-			if _, err := conn.Write(hdr); err == nil {
-				_, err = conn.Write(frame)
-				if err == nil {
-					continue
-				}
+			if err := conn.SetWriteDeadline(time.Now().Add(30 * time.Second)); err != nil {
+				// Connection already unusable (closed underfoot).
+				e.msgsDropped.Add(1)
+				conn.Close()
+				conn = nil
+				continue
 			}
-			// Write failed: drop the frame, reconnect on next send.
-			conn.Close()
-			conn = nil
+			buf = append(buf[:0], 0, 0, 0, 0)
+			binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+			buf = append(buf, frame...)
+			if _, err := conn.Write(buf); err != nil {
+				// Write failed: drop the frame, reconnect on next send.
+				e.msgsDropped.Add(1)
+				conn.Close()
+				conn = nil
+			}
 		}
 	}
 }
@@ -260,7 +322,7 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		}
 		e.msgsRecv.Add(1)
 		e.bytesRecv.Add(uint64(n))
-		e.mb.push(task{from: from, msg: m})
+		dispatchInbound(e.mb, e.verify.Load(), &e.vc, from, m)
 	}
 }
 

@@ -15,11 +15,31 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clanbft/internal/crypto"
 	"clanbft/internal/types"
 )
 
 // Handler consumes inbound messages. Calls are serialized per node.
 type Handler func(from types.NodeID, m types.Message)
+
+// Verifier pre-verifies one inbound message on a crypto.VerifyPool worker,
+// before the message enters the node's serialized mailbox. It returns false
+// to drop the message (bad signature); on success it marks the message (see
+// types.VerifyMark) so the handler can skip its inline verification. A
+// Verifier runs concurrently with the node's handler and with other Verifier
+// calls, so it must only read immutable state (the key registry and the
+// message itself).
+type Verifier func(from types.NodeID, m types.Message) bool
+
+// VerifyingEndpoint is implemented by endpoints that support a parallel
+// pre-verification stage between the wire and the serialized handler.
+type VerifyingEndpoint interface {
+	Endpoint
+	// SetVerifier installs the pre-verification stage. Must be called
+	// before traffic arrives (alongside SetHandler). The endpoint does not
+	// own the pool; callers close it after the endpoint.
+	SetVerifier(v Verifier, pool *crypto.VerifyPool)
+}
 
 // Endpoint is one node's handle on the network.
 type Endpoint interface {
@@ -43,12 +63,23 @@ type Endpoint interface {
 
 // Stats counts what an endpoint put on the wire. Self-sends are excluded:
 // they consume no network resources, matching how the paper accounts
-// communication complexity.
+// communication complexity. MsgsSent counts only frames actually enqueued
+// toward a peer; frames lost before the wire are in MsgsDropped.
 type Stats struct {
 	MsgsSent  uint64
 	BytesSent uint64
 	MsgsRecv  uint64
 	BytesRecv uint64
+	// MsgsDropped counts outbound frames that never reached the wire: no
+	// live peer entry (endpoint closing), a full per-peer queue, or a
+	// failed socket write.
+	MsgsDropped uint64
+
+	// Verification-pipeline counters (zero unless a Verifier is installed).
+	VerifyQueued   uint64        // messages routed through the verify pool
+	VerifyRejected uint64        // messages dropped for bad signatures
+	VerifyPending  uint64        // messages currently awaiting a verdict
+	VerifyLatency  time.Duration // mean submit-to-verdict latency
 }
 
 // Clock abstracts time so the simulator can run on virtual time.
@@ -80,6 +111,11 @@ type task struct {
 	from types.NodeID
 	msg  types.Message
 	fn   func()
+	// gate, when non-nil, carries the verify pool's verdict for msg. The
+	// mailbox loop waits on it before invoking the handler (preserving
+	// arrival order while verification proceeds in parallel) and drops the
+	// message on false.
+	gate chan bool
 }
 
 // mailbox runs tasks one at a time in a dedicated goroutine.
@@ -123,6 +159,9 @@ func (m *mailbox) loop() {
 		m.queue = m.queue[1:]
 		h := m.handler
 		m.mu.Unlock()
+		if t.gate != nil && !<-t.gate {
+			continue // signature rejected by the verify pool
+		}
 		if t.fn != nil {
 			t.fn()
 		} else if h != nil {
@@ -151,6 +190,63 @@ func (m *mailbox) close() {
 	m.closed = true
 	m.cond.Broadcast()
 	m.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Verification pipeline: parallel validate, serialized apply.
+
+// verifyStage couples a Verifier with the pool that runs it. Endpoints hold
+// it behind an atomic pointer so installation needs no lock on the hot path.
+type verifyStage struct {
+	verifier Verifier
+	pool     *crypto.VerifyPool
+}
+
+// verifyCounters tracks per-endpoint pipeline statistics.
+type verifyCounters struct {
+	queued    atomic.Uint64
+	rejected  atomic.Uint64
+	pending   atomic.Int64
+	latencyNs atomic.Int64
+	verdicts  atomic.Uint64
+}
+
+func (c *verifyCounters) fill(s *Stats) {
+	s.VerifyQueued = c.queued.Load()
+	s.VerifyRejected = c.rejected.Load()
+	if p := c.pending.Load(); p > 0 {
+		s.VerifyPending = uint64(p)
+	}
+	if n := c.verdicts.Load(); n > 0 {
+		s.VerifyLatency = time.Duration(c.latencyNs.Load() / int64(n))
+	}
+}
+
+// dispatchInbound routes one inbound message to the mailbox, through the
+// verify stage when one is installed. The task is pushed immediately with a
+// gate channel — keeping per-sender FIFO order intact — while a pool worker
+// verifies the signature; the mailbox loop blocks on the gate only if the
+// verdict has not arrived by the time the message reaches the queue head.
+func dispatchInbound(mb *mailbox, vs *verifyStage, vc *verifyCounters, from types.NodeID, m types.Message) {
+	if vs == nil {
+		mb.push(task{from: from, msg: m})
+		return
+	}
+	gate := make(chan bool, 1)
+	mb.push(task{from: from, msg: m, gate: gate})
+	vc.queued.Add(1)
+	vc.pending.Add(1)
+	start := time.Now()
+	vs.pool.Submit(func() {
+		ok := vs.verifier(from, m)
+		vc.latencyNs.Add(int64(time.Since(start)))
+		vc.verdicts.Add(1)
+		vc.pending.Add(-1)
+		if !ok {
+			vc.rejected.Add(1)
+		}
+		gate <- ok
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -236,15 +332,17 @@ func (n *ChanNet) Close() {
 }
 
 type chanEndpoint struct {
-	id    types.NodeID
-	net   *ChanNet
-	mb    *mailbox
-	clock *realClock
+	id     types.NodeID
+	net    *ChanNet
+	mb     *mailbox
+	clock  *realClock
+	verify atomic.Pointer[verifyStage]
 
 	msgsSent  atomic.Uint64
 	bytesSent atomic.Uint64
 	msgsRecv  atomic.Uint64
 	bytesRecv atomic.Uint64
+	vc        verifyCounters
 }
 
 func (e *chanEndpoint) Self() types.NodeID { return e.id }
@@ -254,9 +352,14 @@ func (e *chanEndpoint) SetHandler(h Handler) {
 	e.mb.start()
 }
 
+// SetVerifier installs a pre-verification stage (see VerifyingEndpoint).
+func (e *chanEndpoint) SetVerifier(v Verifier, pool *crypto.VerifyPool) {
+	e.verify.Store(&verifyStage{verifier: v, pool: pool})
+}
+
 func (e *chanEndpoint) Send(to types.NodeID, m types.Message) {
 	if to == e.id {
-		e.mb.push(task{from: e.id, msg: m})
+		dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
 		return
 	}
 	size := uint64(m.WireSize())
@@ -266,7 +369,7 @@ func (e *chanEndpoint) Send(to types.NodeID, m types.Message) {
 	deliver := func() {
 		dst.msgsRecv.Add(1)
 		dst.bytesRecv.Add(size)
-		dst.mb.push(task{from: e.id, msg: m})
+		dispatchInbound(dst.mb, dst.verify.Load(), &dst.vc, e.id, m)
 	}
 	if e.net.latency > 0 {
 		time.AfterFunc(e.net.latency, deliver)
@@ -288,12 +391,14 @@ func (e *chanEndpoint) Broadcast(m types.Message) {
 }
 
 func (e *chanEndpoint) Stats() Stats {
-	return Stats{
+	s := Stats{
 		MsgsSent:  e.msgsSent.Load(),
 		BytesSent: e.bytesSent.Load(),
 		MsgsRecv:  e.msgsRecv.Load(),
 		BytesRecv: e.bytesRecv.Load(),
 	}
+	e.vc.fill(&s)
+	return s
 }
 
 func (e *chanEndpoint) Close() error {

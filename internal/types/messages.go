@@ -89,6 +89,7 @@ func Decode(b []byte) (Message, error) {
 // tribe, the block only to the proposer's clan (Block == nil elsewhere). Sig
 // covers the vertex digest, binding the proposal to its sender.
 type ValMsg struct {
+	VerifyMark
 	Vertex *Vertex
 	Block  *Block // nil outside the clan
 	Sig    SigBytes
@@ -142,6 +143,7 @@ func unmarshalVal(b []byte) (*ValMsg, error) {
 // the digest of the vertex being echoed. Voter+Sig authenticate the vote so
 // it can be folded into an aggregate certificate.
 type VoteMsg struct {
+	VerifyMark
 	K      MsgKind // KindEcho or KindReady
 	Pos    Position
 	Digest Hash
@@ -194,6 +196,7 @@ func unmarshalVote(b []byte, k MsgKind) (*VoteMsg, error) {
 // EchoCertMsg carries EC_r(m): an aggregate over 2f+1 ECHO votes with at
 // least f_c+1 clan votes (Figure 3). Receiving it lets a party deliver.
 type EchoCertMsg struct {
+	VerifyMark
 	Pos    Position
 	Digest Hash
 	Agg    AggSig
@@ -292,6 +295,7 @@ func unmarshalBlockRsp(b []byte) (*BlockRspMsg, error) {
 // NoVoteMsg tells the next round's leader that the voter timed out waiting
 // for the current round's leader vertex.
 type NoVoteMsg struct {
+	VerifyMark
 	NV NoVote
 }
 
@@ -327,6 +331,7 @@ func unmarshalNoVote(b []byte) (*NoVoteMsg, error) {
 
 // TimeoutMsg announces that the voter's timer for Round expired.
 type TimeoutMsg struct {
+	VerifyMark
 	TO Timeout
 }
 
@@ -362,6 +367,7 @@ func unmarshalTimeout(b []byte) (*TimeoutMsg, error) {
 
 // TCMsg broadcasts an assembled timeout certificate.
 type TCMsg struct {
+	VerifyMark
 	TC TimeoutCert
 }
 
@@ -476,6 +482,7 @@ func unmarshalVtxRsp(b []byte) (*VtxRspMsg, error) {
 //	KindBReq:   pull request for the payload
 //	KindBRsp:   pull response, Data = payload
 type BcastMsg struct {
+	VerifyMark
 	K       MsgKind
 	Sender  NodeID // instance sender
 	Seq     uint64 // instance sequence number (round)

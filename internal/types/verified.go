@@ -1,0 +1,34 @@
+package types
+
+import "sync/atomic"
+
+// VerifyMark is a non-wire flag embedded in signed messages. The transport's
+// pre-verification stage sets it after checking the message's signature on a
+// pool worker, before the message enters the node's serialized mailbox;
+// handlers that see the mark skip their inline Verify/VerifyAgg call.
+//
+// The mark is advisory in one direction only: an unset mark means "verify
+// inline", a set mark means "this exact signature already verified against
+// the shared registry". It never travels on the wire (Marshal ignores it),
+// so a remote peer cannot forge it.
+//
+// Marking is atomic because in-process transports deliver one message object
+// to several endpoints, whose verify workers may mark it concurrently; the
+// verdict is identical for all of them (same bytes, same registry).
+type VerifyMark struct {
+	verified uint32
+}
+
+// MarkVerified records that the message's signature checked out.
+func (v *VerifyMark) MarkVerified() { atomic.StoreUint32(&v.verified, 1) }
+
+// PreVerified reports whether a pre-verification stage validated the
+// message's signature.
+func (v *VerifyMark) PreVerified() bool { return atomic.LoadUint32(&v.verified) == 1 }
+
+// PreVerifiable is implemented by messages that can carry a verified mark
+// (every signed wire message embeds VerifyMark).
+type PreVerifiable interface {
+	MarkVerified()
+	PreVerified() bool
+}

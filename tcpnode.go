@@ -29,6 +29,7 @@ type TCPNode struct {
 	ep       *transport.TCPEndpoint
 	node     *core.Node
 	pool     *mempool.Pool
+	vpool    *crypto.VerifyPool
 	st       store.Store
 	clans    [][]types.NodeID
 	opts     TCPNodeOptions
@@ -75,6 +76,13 @@ func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
 		st = disk
 		n.st = disk
 	}
+	// Pre-verify inbound signatures on a GOMAXPROCS-wide pool so the
+	// serialized handler goroutine is never the verification bottleneck.
+	verifyCores := 0
+	if reg.CheckSigs && !o.SerialVerify {
+		n.vpool = crypto.NewVerifyPool(0, 0)
+		verifyCores = n.vpool.Workers()
+	}
 	n.node = core.New(core.Config{
 		Self:            o.Self,
 		N:               o.N,
@@ -87,12 +95,16 @@ func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
 		Blocks:          n.pool,
 		LeadersPerRound: o.LeadersPerRound,
 		RoundTimeout:    o.RoundTimeout,
+		VerifyCores:     verifyCores,
 		Deliver: func(cv core.CommittedVertex) {
 			for _, fn := range n.onCommit {
 				fn(cv)
 			}
 		},
 	}, ep, ep.Clock())
+	if n.vpool != nil {
+		ep.SetVerifier(n.node.Verifier(), n.vpool)
+	}
 	return n, nil
 }
 
@@ -133,6 +145,10 @@ func (n *TCPNode) Stats() transport.Stats { return n.ep.Stats() }
 // Close shuts the node down.
 func (n *TCPNode) Close() error {
 	err := n.ep.Close()
+	if n.vpool != nil {
+		// After the endpoint: read loops must stop submitting first.
+		n.vpool.Close()
+	}
 	if n.st != nil {
 		if cerr := n.st.Close(); err == nil {
 			err = cerr
