@@ -13,7 +13,8 @@
 //	bench -exp sec62     # Section 6.2 concrete probabilities
 //	bench -exp comm      # communication-complexity accounting
 //	bench -exp ablate    # single-clan throughput vs clan size
-//	bench -exp all
+//	bench -exp micro     # transport/WAL micro-benchmarks -> BENCH_PR2.json
+//	bench -exp all       # every simulator experiment (micro runs only when named)
 //
 // -quick shrinks windows and load sets (minutes instead of hours);
 // -full runs the paper's complete 13-point load sweep.
@@ -36,6 +37,7 @@ func main() {
 		quick = flag.Bool("quick", false, "short windows and fewer load points")
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
+		mout  = flag.String("micro-out", "BENCH_PR2.json", "output path for -exp micro results")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
 		measF = flag.Duration("measure", 10*time.Second, "simulated measurement window")
 	)
@@ -55,6 +57,17 @@ func main() {
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
 	start := time.Now()
+
+	// Micro-benchmarks run only when named: they measure the real transport
+	// and store, not the simulator, and emit their own JSON artifact.
+	if *exp == "micro" {
+		if err := runMicro(*mout); err != nil {
+			fmt.Fprintln(os.Stderr, "micro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		return
+	}
 
 	if run("fig1") {
 		harness.PrintFigure1(os.Stdout)

@@ -231,6 +231,13 @@ type Node struct {
 	// scratchSeen is a reusable N-sized buffer for validateVertex.
 	scratchSeen []bool
 
+	// wb is the reusable write batch for store persistence. Writes go
+	// through Batch.PutOwned with freshly marshaled buffers (ownership
+	// transfers to the store, no deep copies) and flush as one atomic
+	// Apply — a single WAL record and, on Disk stores with SyncEvery, a
+	// single group-commit fsync per flush.
+	wb store.Batch
+
 	// lateVertices collects vertices that missed strong-edge inclusion and
 	// must be weak-edged by the next proposal (guarantees BAB validity).
 	lateVertices map[types.Position]*types.Vertex

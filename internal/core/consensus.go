@@ -164,7 +164,7 @@ func (n *Node) insertNow(v *types.Vertex) {
 		var key [2 + 8 + 2]byte
 		key[0], key[1] = 'v', '/'
 		binaryPutPos(key[2:], pos)
-		n.cfg.Store.Put(key[:], v.Marshal(nil))
+		n.putOwned(key[:], v.Marshal(nil))
 	}
 	n.clk.Charge(n.cfg.Costs.StoreWrite)
 	delete(n.pendingInsert, pos)
@@ -288,8 +288,10 @@ func (n *Node) propose(r types.Round) {
 			v.BlockDigest = blk.Digest()
 			n.blocks[v.BlockDigest] = blk
 			if n.cfg.Store != nil {
-				key := append([]byte("b/"), v.BlockDigest[:]...)
-				n.cfg.Store.Put(key, blk.Marshal(nil))
+				// Staged only: persistProposal flushes the block and the
+				// proposal record as one atomic batch below.
+				n.wb.Reset()
+				n.wb.PutOwned(blockKey(v.BlockDigest), blk.Marshal(nil))
 				n.clk.Charge(n.cfg.Costs.StoreWrite)
 			}
 			n.Metrics.BlocksProposed++

@@ -197,8 +197,7 @@ func (n *Node) acceptBlock(v *types.Vertex, blk *types.Block) {
 	n.blocks[v.BlockDigest] = blk
 	n.Metrics.BlocksReceived++
 	if n.cfg.Store != nil {
-		key := append([]byte("b/"), v.BlockDigest[:]...)
-		n.cfg.Store.Put(key, blk.Marshal(nil))
+		n.putOwned(blockKey(v.BlockDigest), blk.Marshal(nil))
 	}
 	n.clk.Charge(n.cfg.Costs.StoreWrite)
 	pos := v.Pos()

@@ -32,6 +32,22 @@ func proposalKey(r types.Round) []byte {
 	return key[:]
 }
 
+// blockKey is the b/<digest> key.
+func blockKey(d types.Hash) []byte {
+	return append([]byte("b/"), d[:]...)
+}
+
+// putOwned persists one freshly built key/value pair through the node's
+// scratch batch. Ownership of both buffers transfers to the store
+// (store.Batch.PutOwned), so the hot persistence path performs no defensive
+// copies. Requires cfg.Store != nil.
+func (n *Node) putOwned(key, value []byte) {
+	n.wb.Reset()
+	n.wb.PutOwned(key, value)
+	n.cfg.Store.Apply(&n.wb)
+	n.wb.Reset()
+}
+
 // recover loads persisted state. Called from Start when a store is present.
 // It returns whether any prior state existed.
 func (n *Node) recoverFromStore() bool {
@@ -120,11 +136,16 @@ func (n *Node) recoverFromStore() bool {
 }
 
 // persistProposal records this party's round-r proposal digest before the
-// proposal leaves the node (write-ahead against equivocation).
+// proposal leaves the node (write-ahead against equivocation). Anything the
+// caller staged in n.wb beforehand (the proposal's block, see propose) lands
+// in the same atomic batch: one WAL record, one group-commit fsync, and a
+// recovered node that finds p/<r> also finds the block it committed to.
 func (n *Node) persistProposal(r types.Round, digest types.Hash) {
 	if n.cfg.Store == nil {
 		return
 	}
-	n.cfg.Store.Put(proposalKey(r), digest[:])
+	n.wb.PutOwned(proposalKey(r), digest[:])
+	n.cfg.Store.Apply(&n.wb)
+	n.wb.Reset()
 	n.clk.Charge(n.cfg.Costs.StoreWrite)
 }

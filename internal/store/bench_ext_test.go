@@ -1,0 +1,19 @@
+package store_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clanbft/internal/perfbench"
+)
+
+// BenchmarkDiskGroupCommit gates the group-commit WAL: with SyncEvery on and
+// concurrent writers, fsyncs/op must come out below 1 — many acknowledged
+// records per fsync.
+func BenchmarkDiskGroupCommit(b *testing.B) {
+	for _, writers := range []int{8, 16} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			perfbench.DiskGroupCommit(b, writers)
+		})
+	}
+}

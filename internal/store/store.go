@@ -15,6 +15,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is the interface consumed by consensus code. Implementations must be
@@ -56,18 +58,37 @@ type op struct {
 	value []byte
 }
 
-// Put adds a write to the batch.
+// Put adds a write to the batch, deep-copying key and value (the caller may
+// reuse its buffers immediately).
 func (b *Batch) Put(key, value []byte) {
 	b.ops = append(b.ops, op{key: cp(key), value: cp(value)})
 }
 
-// Delete adds a deletion to the batch.
+// Delete adds a deletion to the batch, deep-copying the key.
 func (b *Batch) Delete(key []byte) {
 	b.ops = append(b.ops, op{del: true, key: cp(key)})
 }
 
+// PutOwned adds a write without copying: the caller transfers ownership of
+// key and value to the batch and must not modify either afterwards. Use for
+// freshly built buffers (e.g. a Marshal into a new slice) on hot paths where
+// Put's defensive copies are pure overhead.
+func (b *Batch) PutOwned(key, value []byte) {
+	b.ops = append(b.ops, op{key: key, value: value})
+}
+
+// DeleteOwned adds a deletion without copying the key; same ownership
+// transfer as PutOwned.
+func (b *Batch) DeleteOwned(key []byte) {
+	b.ops = append(b.ops, op{del: true, key: key})
+}
+
 // Len returns the number of buffered operations.
 func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse. Safe once Apply has returned: stores do
+// not retain references to a batch after applying it.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
 func cp(b []byte) []byte {
 	out := make([]byte, len(b))
@@ -168,18 +189,73 @@ const (
 	walName = "clanbft.wal"
 )
 
-// Disk is a WAL-backed Store.
+// Disk is a WAL-backed Store with RocksDB-style group commit: concurrent
+// writers append their encoded records to a forming in-memory group, one of
+// them (the leader) flushes the whole group with a single write and — when
+// SyncEvery is on — a single fsync, and every batched waiter is released
+// together with the group's error. Durability ordering is unchanged: a write
+// is acknowledged only after its record (and every record queued before it)
+// is in the WAL, and WAL order always equals memtable-apply order.
+//
+// Lock order: fmu (file) before mu (memtable). Readers take only mu, so they
+// are never serialized behind disk latency.
 type Disk struct {
-	mu      sync.Mutex
-	dir     string
-	f       *os.File
-	m       map[string][]byte
+	mu  sync.Mutex // memtable: m, liveBytes
+	fmu sync.Mutex // WAL file: f, walSize, swap/close
+	dir string
+	f   *os.File
+	m   map[string][]byte
+	// walSize is guarded by fmu (committer + compaction + open).
 	walSize int64
 	// CompactAt triggers Compact when the WAL exceeds this many bytes and
 	// the live data is under half of it. Zero disables auto-compaction.
 	CompactAt int64
 	liveBytes int64
 	syncEvery bool
+
+	// Commit pipeline (guarded by cmu): the forming group and leader flag.
+	cmu     sync.Mutex
+	group   *commitGroup
+	leading bool
+	closed  bool
+
+	records atomic.Uint64 // records committed
+	groups  atomic.Uint64 // group flushes (writes)
+	syncs   atomic.Uint64 // fsyncs issued by the committer
+}
+
+// commitGroup is one forming commit batch: the concatenation of every
+// waiter's framed record plus the memtable ops to apply, in arrival order.
+type commitGroup struct {
+	sc   *groupBufs
+	buf  []byte // CRC-framed records, back to back
+	ops  []op   // memtable ops in WAL order
+	done chan struct{}
+	err  error
+}
+
+// groupBufs recycles a group's buffers across commits; the commitGroup header
+// itself is tiny and left to the GC (waiters may still read done/err after
+// the scratch has moved on to a later group).
+type groupBufs struct {
+	buf []byte
+	ops []op
+}
+
+var groupScratch = sync.Pool{New: func() any { return new(groupBufs) }}
+
+// DiskStats reports commit-pipeline counters. Syncs < Records under
+// concurrent writers is group commit working: many acknowledged records per
+// fsync.
+type DiskStats struct {
+	Records uint64 // individually acknowledged records
+	Groups  uint64 // WAL writes (one per group)
+	Syncs   uint64 // fsyncs (one per group when SyncEvery is on)
+}
+
+// Stats returns cumulative commit-pipeline counters.
+func (s *Disk) Stats() DiskStats {
+	return DiskStats{Records: s.records.Load(), Groups: s.groups.Load(), Syncs: s.syncs.Load()}
 }
 
 // Options configures a Disk store.
@@ -234,9 +310,10 @@ func (s *Disk) replay(path string) error {
 	}
 	defer f.Close()
 	var off int64
-	hdr := make([]byte, 8)
+	var hdr [8]byte
+	var body []byte // reused across records; memPut copies what it keeps
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
 			break // clean EOF or torn header: truncate here
 		}
 		crc := binary.LittleEndian.Uint32(hdr[0:])
@@ -244,7 +321,10 @@ func (s *Disk) replay(path string) error {
 		if n > 1<<30 {
 			break
 		}
-		body := make([]byte, n)
+		if uint32(cap(body)) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
 		if _, err := io.ReadFull(f, body); err != nil {
 			break
 		}
@@ -350,77 +430,154 @@ func decodeKVRest(b []byte) (k, v, rest []byte, err error) {
 	return k, b[:vl], b[vl:], nil
 }
 
-func (s *Disk) append(body []byte) error {
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(body))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
-	if _, err := s.f.Write(hdr); err != nil {
-		return err
+// beginRecord reserves a record's 8-byte CRC/length header in the group
+// buffer and returns its offset; endRecord fills it in once the body has been
+// appended. Records are framed in place — no per-record make+append pairs.
+func (g *commitGroup) beginRecord() int {
+	g.buf = append(g.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	return len(g.buf) - 8
+}
+
+func (g *commitGroup) endRecord(hdrOff int) {
+	body := g.buf[hdrOff+8:]
+	binary.LittleEndian.PutUint32(g.buf[hdrOff:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(g.buf[hdrOff+4:], uint32(len(body)))
+}
+
+var errClosed = errors.New("store: closed")
+
+// commit runs build against the forming group (creating one if needed), then
+// either waits for the group's leader to flush it or becomes the leader
+// itself. The caller's key/value slices are referenced only until its group
+// is applied, which happens before commit returns.
+func (s *Disk) commit(build func(*commitGroup)) error {
+	s.cmu.Lock()
+	if s.closed {
+		s.cmu.Unlock()
+		return errClosed
 	}
-	if _, err := s.f.Write(body); err != nil {
-		return err
+	g := s.group
+	if g == nil {
+		sc := groupScratch.Get().(*groupBufs)
+		g = &commitGroup{sc: sc, buf: sc.buf[:0], ops: sc.ops[:0], done: make(chan struct{})}
+		s.group = g
 	}
-	s.walSize += int64(8 + len(body))
-	if s.syncEvery {
-		if err := s.f.Sync(); err != nil {
-			return err
+	build(g)
+	leader := !s.leading
+	if leader {
+		s.leading = true
+	}
+	s.cmu.Unlock()
+	if leader {
+		s.lead()
+	}
+	<-g.done
+	s.records.Add(1)
+	return g.err
+}
+
+// lead drains forming groups until none remain. Groups flush strictly one
+// after another, so WAL order equals arrival order equals memtable order.
+func (s *Disk) lead() {
+	for {
+		s.cmu.Lock()
+		g := s.group
+		s.group = nil
+		if g == nil {
+			s.leading = false
+			s.cmu.Unlock()
+			return
+		}
+		s.cmu.Unlock()
+		s.flushGroup(g)
+	}
+}
+
+// flushGroup writes one group to the WAL — a single write plus, when
+// SyncEvery is on, a single fsync for however many records the group holds —
+// applies its ops to the memtable in WAL order, runs due compaction, recycles
+// the group's scratch buffers, and releases every waiter with the shared
+// error.
+func (s *Disk) flushGroup(g *commitGroup) {
+	var err error
+	s.fmu.Lock()
+	if s.f == nil {
+		err = errClosed
+	} else if _, err = s.f.Write(g.buf); err == nil {
+		s.walSize += int64(len(g.buf))
+		if s.syncEvery {
+			s.syncs.Add(1)
+			err = s.f.Sync()
 		}
 	}
-	if s.CompactAt > 0 && s.walSize > s.CompactAt && s.liveBytes*2 < s.walSize {
-		return s.compactLocked()
+	s.groups.Add(1)
+	if err == nil {
+		s.mu.Lock()
+		for _, o := range g.ops {
+			if o.del {
+				s.memDel(o.key)
+			} else {
+				s.memPut(o.key, o.value)
+			}
+		}
+		if s.CompactAt > 0 && s.walSize > s.CompactAt && s.liveBytes*2 < s.walSize {
+			err = s.compactLocked()
+		}
+		s.mu.Unlock()
 	}
-	return nil
+	s.fmu.Unlock()
+	// Recycle the scratch before releasing waiters: they read only done and
+	// err, never the buffers. Ops are cleared so recycled slots do not pin
+	// caller buffers from the GC.
+	sc := g.sc
+	g.sc = nil
+	clear(g.ops)
+	sc.buf, sc.ops = g.buf[:0], g.ops[:0]
+	g.buf, g.ops = nil, nil
+	groupScratch.Put(sc)
+	g.err = err
+	close(g.done)
 }
 
 func (s *Disk) Put(key, value []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	body := append([]byte{recPut}, encodeKV(nil, key, value)...)
-	if err := s.append(body); err != nil {
-		return err
-	}
-	s.memPut(key, value)
-	return nil
+	return s.commit(func(g *commitGroup) {
+		h := g.beginRecord()
+		g.buf = append(g.buf, recPut)
+		g.buf = encodeKV(g.buf, key, value)
+		g.endRecord(h)
+		g.ops = append(g.ops, op{key: key, value: value})
+	})
 }
 
 func (s *Disk) Delete(key []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	body := append([]byte{recDel}, encodeKV(nil, key, nil)...)
-	if err := s.append(body); err != nil {
-		return err
-	}
-	s.memDel(key)
-	return nil
+	return s.commit(func(g *commitGroup) {
+		h := g.beginRecord()
+		g.buf = append(g.buf, recDel)
+		g.buf = encodeKV(g.buf, key, nil)
+		g.endRecord(h)
+		g.ops = append(g.ops, op{del: true, key: key})
+	})
 }
 
 func (s *Disk) Apply(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	body := []byte{recBatch}
-	for _, o := range b.ops {
-		if o.del {
-			body = append(body, recDel)
-			body = encodeKV(body, o.key, nil)
-		} else {
-			body = append(body, recPut)
-			body = encodeKV(body, o.key, o.value)
+	return s.commit(func(g *commitGroup) {
+		h := g.beginRecord()
+		g.buf = append(g.buf, recBatch)
+		for _, o := range b.ops {
+			if o.del {
+				g.buf = append(g.buf, recDel)
+				g.buf = encodeKV(g.buf, o.key, nil)
+			} else {
+				g.buf = append(g.buf, recPut)
+				g.buf = encodeKV(g.buf, o.key, o.value)
+			}
 		}
-	}
-	if err := s.append(body); err != nil {
-		return err
-	}
-	for _, o := range b.ops {
-		if o.del {
-			s.memDel(o.key)
-		} else {
-			s.memPut(o.key, o.value)
-		}
-	}
-	return nil
+		g.endRecord(h)
+		g.ops = append(g.ops, b.ops...)
+	})
 }
 
 func (s *Disk) Get(key []byte) ([]byte, bool, error) {
@@ -464,8 +621,13 @@ func (s *Disk) Len() int {
 
 // Compact rewrites the WAL as a snapshot of the live table.
 func (s *Disk) Compact() error {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
 	return s.compactLocked()
 }
 
@@ -514,9 +676,16 @@ func (s *Disk) compactLocked() error {
 	return nil
 }
 
+// Close flushes and closes the WAL. Writes racing Close that were not yet
+// acknowledged fail with an error; every write that returned nil before Close
+// began is durable (modulo the OS page cache when SyncEvery is off — Close
+// fsyncs what it can).
 func (s *Disk) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.cmu.Lock()
+	s.closed = true
+	s.cmu.Unlock()
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
 	if s.f == nil {
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,7 +52,7 @@ type TCPEndpoint struct {
 }
 
 type peerConn struct {
-	out    chan []byte
+	out    chan *frame
 	closed chan struct{}
 }
 
@@ -110,33 +111,69 @@ func (e *TCPEndpoint) Send(to types.NodeID, m types.Message) {
 		dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
 		return
 	}
-	frame := types.Encode(m, nil)
+	e.enqueue(to, encodeFrame(m, 1))
+}
+
+// Multicast marshals m exactly once and hands the same immutable frame to
+// every remote peer's out-queue; self-delivery bypasses encoding entirely.
+// Accounting stays exact per peer: each successful enqueue counts one
+// MsgsSent + the frame's bytes, each failed one counts one MsgsDropped.
+func (e *TCPEndpoint) Multicast(tos []types.NodeID, m types.Message) {
+	remote := 0
+	for _, to := range tos {
+		if to != e.id {
+			remote++
+		}
+	}
+	var f *frame
+	if remote > 0 {
+		f = encodeFrame(m, int32(remote))
+	}
+	for _, to := range tos {
+		if to == e.id {
+			dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
+			continue
+		}
+		e.enqueue(to, f)
+	}
+}
+
+// Broadcast multicasts to every party in ascending NodeID order. The order is
+// deterministic (the address book is a map) so that runs over identical
+// inputs enqueue identical sequences — map iteration order used to make
+// otherwise-reproducible runs diverge.
+func (e *TCPEndpoint) Broadcast(m types.Message) {
+	ids := make([]types.NodeID, 0, len(e.addrs))
+	for id := range e.addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.Multicast(ids, m)
+}
+
+// enqueue hands one frame reference to peer to's out-queue. Failure paths
+// (endpoint closing, full queue) release the reference and count the drop, so
+// the frame's refcount always balances no matter how many peers accept it.
+func (e *TCPEndpoint) enqueue(to types.NodeID, f *frame) {
 	p := e.peer(to)
 	if p == nil {
 		e.msgsDropped.Add(1)
+		f.release()
 		return
 	}
+	// Size must be read before the handoff: once the frame is in the queue
+	// the writer goroutine may consume and release it at any moment.
+	n := uint64(len(f.b))
 	select {
-	case p.out <- frame:
+	case p.out <- f:
 		// Count only frames actually enqueued toward the wire.
 		e.msgsSent.Add(1)
-		e.bytesSent.Add(uint64(len(frame)))
+		e.bytesSent.Add(n)
 	default:
 		// Queue full: drop. The protocol layer tolerates loss before
 		// GST; steady-state queues never fill at sane loads.
 		e.msgsDropped.Add(1)
-	}
-}
-
-func (e *TCPEndpoint) Multicast(tos []types.NodeID, m types.Message) {
-	for _, to := range tos {
-		e.Send(to, m)
-	}
-}
-
-func (e *TCPEndpoint) Broadcast(m types.Message) {
-	for id := range e.addrs {
-		e.Send(id, m)
+		f.release()
 	}
 }
 
@@ -162,7 +199,7 @@ func (e *TCPEndpoint) peer(id types.NodeID) *peerConn {
 	if p, ok := e.peers[id]; ok {
 		return p
 	}
-	p := &peerConn{out: make(chan []byte, outQueueLen), closed: make(chan struct{})}
+	p := &peerConn{out: make(chan *frame, outQueueLen), closed: make(chan struct{})}
 	e.peers[id] = p
 	e.wg.Add(1)
 	go e.writeLoop(id, p)
@@ -194,13 +231,31 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 		if conn != nil {
 			conn.Close()
 		}
+		// Drain frames still queued at shutdown so shared buffers return to
+		// the pool instead of waiting for the GC.
+		for {
+			select {
+			case f := <-p.out:
+				f.release()
+			default:
+				return
+			}
+		}
 	}()
 	backoff := reconnectBackoff
-	// buf coalesces the 4-byte length header and the frame into one
-	// conn.Write, so a frame costs a single syscall and the header can
-	// never be flushed in its own segment. Reused (and grown) across
-	// frames.
-	buf := make([]byte, 0, 64<<10)
+	// hdr+scratch gather the 4-byte length header and the shared frame into
+	// one writev, so a frame costs a single syscall, the header can never be
+	// flushed in its own segment, and — because the frame bytes are shared
+	// with other peers' writers — they are never copied per peer. WriteTo
+	// consumes the Buffers value it is given (advancing it past its backing
+	// array), so each write appends into scratch's stable array and hands
+	// WriteTo an alias; reusing the consumed value instead would reallocate
+	// the two-element array on every frame.
+	// bufs itself lives outside the loop: WriteTo takes its address, which
+	// would otherwise heap-allocate a fresh slice header per frame.
+	var hdr [4]byte
+	scratch := make(net.Buffers, 0, 2)
+	var bufs net.Buffers
 	// sleepBackoff waits out the current (jittered) backoff, doubling it
 	// for next time; it returns false when the peer entry was closed.
 	sleepBackoff := func() bool {
@@ -218,11 +273,12 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 		select {
 		case <-p.closed:
 			return
-		case frame := <-p.out:
+		case f := <-p.out:
 			for conn == nil {
 				c, err := net.DialTimeout("tcp", e.addrs[id], 2*time.Second)
 				if err != nil {
 					if !sleepBackoff() {
+						f.release()
 						return
 					}
 					continue
@@ -238,6 +294,7 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 				if _, err := c.Write(hello[:]); err != nil {
 					c.Close()
 					if !sleepBackoff() {
+						f.release()
 						return
 					}
 					continue
@@ -252,17 +309,18 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 				e.msgsDropped.Add(1)
 				conn.Close()
 				conn = nil
+				f.release()
 				continue
 			}
-			buf = append(buf[:0], 0, 0, 0, 0)
-			binary.BigEndian.PutUint32(buf, uint32(len(frame)))
-			buf = append(buf, frame...)
-			if _, err := conn.Write(buf); err != nil {
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(f.b)))
+			bufs = append(scratch[:0], hdr[:], f.b)
+			if _, err := bufs.WriteTo(conn); err != nil {
 				// Write failed: drop the frame, reconnect on next send.
 				e.msgsDropped.Add(1)
 				conn.Close()
 				conn = nil
 			}
+			f.release()
 		}
 	}
 }

@@ -362,7 +362,14 @@ func (e *chanEndpoint) Send(to types.NodeID, m types.Message) {
 		dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
 		return
 	}
-	size := uint64(m.WireSize())
+	e.sendSized(to, m, uint64(m.WireSize()))
+}
+
+// sendSized transmits m with a pre-computed wire size, mirroring the TCP
+// endpoint's encode-once discipline: Multicast/Broadcast size the message a
+// single time and share the result across every copy, while self-delivery
+// stays off the accounting entirely.
+func (e *chanEndpoint) sendSized(to types.NodeID, m types.Message, size uint64) {
 	e.msgsSent.Add(1)
 	e.bytesSent.Add(size)
 	dst := e.net.eps[to]
@@ -379,14 +386,26 @@ func (e *chanEndpoint) Send(to types.NodeID, m types.Message) {
 }
 
 func (e *chanEndpoint) Multicast(tos []types.NodeID, m types.Message) {
+	size := uint64(m.WireSize())
 	for _, to := range tos {
-		e.Send(to, m)
+		if to == e.id {
+			dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
+			continue
+		}
+		e.sendSized(to, m, size)
 	}
 }
 
+// Broadcast delivers to endpoints in ascending NodeID order (the slice is
+// index-ordered), matching TCPEndpoint.Broadcast's deterministic order.
 func (e *chanEndpoint) Broadcast(m types.Message) {
+	size := uint64(m.WireSize())
 	for i := range e.net.eps {
-		e.Send(types.NodeID(i), m)
+		if types.NodeID(i) == e.id {
+			dispatchInbound(e.mb, e.verify.Load(), &e.vc, e.id, m)
+			continue
+		}
+		e.sendSized(types.NodeID(i), m, size)
 	}
 }
 

@@ -1,0 +1,70 @@
+package types
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed scratch buffers feeding Encode/Marshal. Encoding a message for
+// the wire (or a record for the WAL) needs a byte slice that lives exactly as
+// long as the frame is in flight; allocating one per message makes the
+// garbage collector a bottleneck at multi-MB proposal sizes. GetBuf/PutBuf
+// recycle those slices through power-of-two size classes.
+//
+// Ownership rules: a buffer obtained from GetBuf is owned exclusively by the
+// caller until PutBuf; PutBuf transfers it back to the pool and the caller
+// must not touch it (or any alias of it) afterwards. Returning a buffer the
+// pool did not hand out is allowed — it is classified by capacity — so a
+// slice grown past its class (e.g. by append) recycles at its new size.
+
+const (
+	// minBufClass is the smallest pooled class (1<<9 = 512 B); smaller
+	// buffers are cheaper to allocate than to pool.
+	minBufClass = 9
+	// maxBufClass is the largest pooled class (1<<26 = 64 MiB), matching the
+	// transport's maximum frame size.
+	maxBufClass = 26
+)
+
+var bufPools [maxBufClass + 1]sync.Pool
+
+// GetBuf returns a zero-length buffer with capacity >= size. Callers append
+// into it and hand it back with PutBuf when the encoded bytes are no longer
+// referenced anywhere.
+func GetBuf(size int) []byte {
+	c := bufClass(size)
+	if c > maxBufClass {
+		return make([]byte, 0, size) // beyond the largest class: unpooled
+	}
+	if p := bufPools[c].Get(); p != nil {
+		return (*p.(*[]byte))[:0]
+	}
+	return make([]byte, 0, 1<<c)
+}
+
+// PutBuf recycles a buffer previously obtained from GetBuf (or any scratch
+// slice the caller no longer needs). The buffer is filed under the largest
+// class its capacity fully covers, so a Get from that class always has the
+// advertised room.
+func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1 // largest c with 1<<c <= cap(b)
+	if c < minBufClass {
+		return // too small to be worth pooling
+	}
+	if c > maxBufClass {
+		c = maxBufClass
+	}
+	b = b[:0]
+	bufPools[c].Put(&b)
+}
+
+// bufClass returns the smallest class whose buffers hold size bytes.
+func bufClass(size int) int {
+	if size <= 1<<minBufClass {
+		return minBufClass
+	}
+	return bits.Len(uint(size - 1))
+}
