@@ -14,7 +14,13 @@
 //	bench -exp comm      # communication-complexity accounting
 //	bench -exp ablate    # single-clan throughput vs clan size
 //	bench -exp micro     # transport/WAL micro-benchmarks -> BENCH_PR2.json
-//	bench -exp all       # every simulator experiment (micro runs only when named)
+//	bench -exp chaos     # seeded mixed-fault property runner (safety+liveness)
+//	bench -exp all       # every simulator experiment (micro/chaos run only when named)
+//
+// -baseline compares -exp micro results against a checked-in JSON artifact
+// and fails on allocs/op or fsyncs/op regressions beyond ±20% (the CI
+// bench-regression gate). -chaos-scenarios sets the seeds swept per clan
+// mode for -exp chaos; -seed is the first seed.
 //
 // -quick shrinks windows and load sets (minutes instead of hours);
 // -full runs the paper's complete 13-point load sweep.
@@ -38,6 +44,8 @@ func main() {
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
 		mout  = flag.String("micro-out", "BENCH_PR2.json", "output path for -exp micro results")
+		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, ±20%)")
+		nchao = flag.Int("chaos-scenarios", 10, "seeds per clan mode for -exp chaos")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
 		measF = flag.Duration("measure", 10*time.Second, "simulated measurement window")
 	)
@@ -61,8 +69,19 @@ func main() {
 	// Micro-benchmarks run only when named: they measure the real transport
 	// and store, not the simulator, and emit their own JSON artifact.
 	if *exp == "micro" {
-		if err := runMicro(*mout); err != nil {
+		if err := runMicro(*mout, *mbase); err != nil {
 			fmt.Fprintln(os.Stderr, "micro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		return
+	}
+
+	// The chaos property runner likewise runs only when named: it exercises
+	// disk stores and fault schedules, not the throughput experiments.
+	if *exp == "chaos" {
+		if err := runChaos(*seed, *nchao); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))

@@ -13,7 +13,7 @@ import (
 // ns/op and allocs/op per benchmark, plus extra metrics such as fsyncs/op,
 // so the encode-once (allocs/op flat across peer counts) and group-commit
 // (fsyncs/op < 1) claims are checkable from the file alone.
-func runMicro(path string) error {
+func runMicro(path, baseline string) error {
 	fmt.Printf("Micro-benchmarks — transport encode-once + WAL group commit\n")
 	rows := perfbench.Suite(os.Stdout)
 	out, err := json.MarshalIndent(rows, "", "  ")
@@ -25,5 +25,60 @@ func runMicro(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	if baseline != "" {
+		return compareBaseline(rows, baseline)
+	}
+	return nil
+}
+
+// compareBaseline gates CI on the structural metrics of the micro-benchmark
+// suite: allocs/op (the encode-once claim) and fsyncs/op (the group-commit
+// claim). Both are deterministic properties of the code path, unlike ns/op,
+// which depends on the runner — so only they gate, with a ±20% tolerance
+// plus a one-allocation absolute slack (testing.Benchmark rounds allocs to
+// integers). Only regressions fail; improvements just print.
+func compareBaseline(rows []perfbench.Row, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []perfbench.Row
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]perfbench.Row, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	fmt.Printf("\nRegression gate vs %s (±20%%):\n", path)
+	regressions := 0
+	check := func(name, metric string, got, want, slack float64) {
+		limit := want*1.2 + slack
+		status := "ok  "
+		if got > limit {
+			status = "FAIL"
+			regressions++
+		}
+		fmt.Printf("  %s %-45s %-10s %.3f (baseline %.3f, limit %.3f)\n",
+			status, name, metric, got, want, limit)
+	}
+	for _, r := range rows {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("  new  %-45s (no baseline entry)\n", r.Name)
+			continue
+		}
+		check(r.Name, "allocs/op", float64(r.AllocsPerOp), float64(b.AllocsPerOp), 1)
+		if want, ok := b.Extra["fsyncs/op"]; ok {
+			// Group formation depends on disk latency, so fsyncs/op moves
+			// with the runner's storage; 0.1 absolute slack keeps the gate
+			// meaningful (a no-batching regression lands at 1.0) without
+			// tripping on scheduler jitter.
+			check(r.Name, "fsyncs/op", r.Extra["fsyncs/op"], want, 0.1)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond tolerance", regressions)
+	}
 	return nil
 }

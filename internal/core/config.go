@@ -202,6 +202,7 @@ type Node struct {
 	round          types.Round // highest round proposed
 	maxQuorumRound types.Round // highest round with 2f+1 delivered incl. leader
 	started        bool
+	stopped        bool // Stop called: ignore handlers and late timer fires
 	roundTimer     transport.Timer
 	timedOutRound  map[types.Round]bool
 

@@ -327,6 +327,9 @@ func (n *Node) propose(r types.Round) {
 	n.roundTimer = n.clk.After(n.cfg.RoundTimeout, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
 		n.roundTimer = nil
 		n.onRoundTimeout(round)
 	})
@@ -383,6 +386,9 @@ func (n *Node) onRoundTimeout(r types.Round) {
 	n.roundTimer = n.clk.After(n.cfg.RoundTimeout, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
 		n.roundTimer = nil
 		n.onRoundTimeout(r)
 	})

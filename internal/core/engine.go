@@ -56,6 +56,9 @@ func (n *Node) Start() {
 		n.roundTimer = n.clk.After(n.cfg.RoundTimeout, func() {
 			n.mu.Lock()
 			defer n.mu.Unlock()
+			if n.stopped {
+				return
+			}
 			n.roundTimer = nil
 			n.onRoundTimeout(round)
 		})
@@ -66,11 +69,45 @@ func (n *Node) Start() {
 	n.propose(0)
 }
 
+// Stop tears the engine down mid-run (crash simulation, harness shutdown):
+// it cancels the round timer and every pending pull timer and marks the node
+// stopped, so late timer fires and inbound messages become no-ops. The
+// endpoint and store stay open — they belong to the caller, who typically
+// closes the store next and later rebuilds a fresh Node (recovery) on the
+// same endpoint. Safe to call more than once.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stopped = true
+	if n.roundTimer != nil {
+		n.roundTimer.Stop()
+		n.roundTimer = nil
+	}
+	for _, row := range n.insts {
+		for _, in := range row {
+			if in == nil {
+				continue
+			}
+			if in.blockPull != nil {
+				in.blockPull.Stop()
+				in.blockPull = nil
+			}
+			if in.vtxPull != nil {
+				in.vtxPull.Stop()
+				in.vtxPull = nil
+			}
+		}
+	}
+}
+
 // handle dispatches inbound messages. It runs in the endpoint's serialized
 // context.
 func (n *Node) handle(from types.NodeID, m types.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.stopped {
+		return
+	}
 	switch msg := m.(type) {
 	case *types.ValMsg:
 		n.onVal(from, msg)
@@ -542,6 +579,9 @@ func (n *Node) sendBlockPull(pos types.Position, in *vinst) {
 	in.blockPull = n.clk.After(n.cfg.PullRetry, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
 		in.blockPull = nil
 		n.sendBlockPull(pos, in)
 	})
@@ -598,6 +638,9 @@ func (n *Node) sendVtxPull(pos types.Position, in *vinst) {
 	in.vtxPull = n.clk.After(n.cfg.PullRetry, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
 		in.vtxPull = nil
 		n.sendVtxPull(pos, in)
 	})

@@ -14,8 +14,11 @@ import (
 	"clanbft/internal/committee"
 	"clanbft/internal/core"
 	"clanbft/internal/crypto"
+	"clanbft/internal/faults"
 	"clanbft/internal/mempool"
 	"clanbft/internal/simnet"
+	"clanbft/internal/store"
+	"clanbft/internal/transport"
 	"clanbft/internal/types"
 )
 
@@ -56,6 +59,15 @@ type Config struct {
 	CheckSigs bool
 	// Regions overrides the even 5-region split.
 	Regions []int
+
+	// Faults, when non-nil, wraps every endpoint in the deterministic
+	// fault layer and drives the schedule over the run: link drop/dup/
+	// reorder/delay rules, named partitions with heal, and crash/restart
+	// cycles. Crashed nodes are torn down with Node.Stop and rebuilt from
+	// a per-node in-memory store (recovery path), so re-emitted commits
+	// are deduplicated in the measurements. The schedule's virtual times
+	// are relative to the run start (warmup included).
+	Faults *faults.Schedule
 }
 
 // Result is one experiment outcome.
@@ -79,6 +91,14 @@ type Result struct {
 	BytesByKind map[types.MsgKind]uint64
 	MsgsByKind  map[types.MsgKind]uint64
 	BytesPerSec float64
+
+	// FaultTrace is the fault layer's deterministic event log (empty when
+	// Config.Faults is nil). Identical seed + schedule reproduce it
+	// byte for byte.
+	FaultTrace string
+	// FaultsDropped totals the messages the fault layer suppressed across
+	// all nodes (link drops, partitions, crashes).
+	FaultsDropped uint64
 }
 
 // PaperClanSize returns the clan sizes used in Section 7 (failure
@@ -163,18 +183,48 @@ func Run(cfg Config) Result {
 		latMax   time.Duration
 		latCount int
 		txs      int
-		lats     []time.Duration // bounded reservoir for percentiles
+		lats     []time.Duration         // bounded reservoir for percentiles
+		seen     map[types.Position]bool // dedupe across restarts (faults only)
 	}
 	samples := make([]sample, cfg.N)
 	measureStart := cfg.Warmup
 	measureEnd := cfg.Warmup + cfg.Measure
 
+	// Fault layer: wrap every endpoint so the schedule's link rules,
+	// partitions and crash gates apply on the exact production send path.
+	// Crashed nodes keep state in a per-node in-memory store and are rebuilt
+	// through the normal recovery path on restart; recovery re-emits the
+	// committed order from scratch, so measurement dedupes per position.
+	var fnet *faults.Net
+	endpoints := make([]transport.Endpoint, cfg.N)
+	var feps []*faults.Endpoint
+	var stores []store.Store
+	if cfg.Faults != nil {
+		fnet = faults.NewNet(cfg.N, cfg.Faults.Seed, &faults.Trace{})
+		feps = make([]*faults.Endpoint, cfg.N)
+		stores = make([]store.Store, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			id := types.NodeID(i)
+			feps[i] = fnet.Wrap(net.Endpoint(id), net.Clock(id))
+			endpoints[i] = feps[i]
+			stores[i] = store.NewMem()
+			samples[i].seen = make(map[types.Position]bool)
+		}
+	} else {
+		for i := 0; i < cfg.N; i++ {
+			endpoints[i] = net.Endpoint(types.NodeID(i))
+		}
+	}
+
 	nodes := make([]*core.Node, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		i := i
+	mkNode := func(i int) *core.Node {
 		id := types.NodeID(i)
 		clk := net.Clock(id)
-		nodes[i] = core.New(core.Config{
+		var st store.Store
+		if stores != nil {
+			st = stores[i]
+		}
+		return core.New(core.Config{
 			Self:            id,
 			N:               cfg.N,
 			Mode:            cfg.Mode,
@@ -186,10 +236,21 @@ func Run(cfg Config) Result {
 			LeadersPerRound: cfg.LeadersPerRound,
 			RoundTimeout:    cfg.RoundTimeout,
 			GCDepth:         16,
+			Store:           st,
 			Deliver: func(cv core.CommittedVertex) {
 				v := cv.Vertex
 				if v.BlockDigest.IsZero() {
 					return
+				}
+				s := &samples[i]
+				if s.seen != nil {
+					// Recovery replays the whole order; count each
+					// position once per node across incarnations.
+					pos := v.Pos()
+					if s.seen[pos] {
+						return
+					}
+					s.seen[pos] = true
 				}
 				now := clk.Now()
 				if now < measureStart || now > measureEnd {
@@ -201,7 +262,6 @@ func Run(cfg Config) Result {
 				// throughput once per node from vertex metadata via
 				// the block when held; nodes without the block count
 				// via the proposer's generator parameters.
-				s := &samples[i]
 				if cv.Block != nil {
 					lat := now - time.Duration(cv.Block.CreatedAt)
 					s.latSum += lat
@@ -219,10 +279,28 @@ func Run(cfg Config) Result {
 					s.txs += cfg.TxPerProposal
 				}
 			},
-		}, net.Endpoint(id), clk)
+		}, endpoints[i], clk)
+	}
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = mkNode(i)
 	}
 	for _, n := range nodes {
 		n.Start()
+	}
+	if cfg.Faults != nil {
+		faults.Drive(*cfg.Faults, net.Clock(0), fnet, faults.Hooks{
+			Crash: func(id types.NodeID) {
+				nodes[id].Stop()
+			},
+			Restart: func(id types.NodeID, ev faults.Event) {
+				// The Mem store survives the crash (torn-tail modes need a
+				// Disk store and belong to the chaos runner); rebuild the
+				// node through the normal store-recovery path on the same
+				// wrapped endpoint.
+				nodes[id] = mkNode(int(id))
+				nodes[id].Start()
+			},
+		})
 	}
 	net.RunUntil(measureEnd)
 
@@ -244,6 +322,12 @@ func Run(cfg Config) Result {
 		res.MsgsByKind[k] = v
 	}
 	res.BytesPerSec = float64(res.TotalBytes) / net.Now().Seconds()
+	if fnet != nil {
+		res.FaultTrace = fnet.Trace().String()
+		for _, ep := range feps {
+			res.FaultsDropped += ep.FaultStats().Dropped
+		}
+	}
 
 	// Throughput: committed txs in the window at a reference node
 	// (identical at every node by total order); average latency across all

@@ -578,6 +578,10 @@ func (e *simEndpoint) Send(to types.NodeID, m types.Message) {
 		return
 	}
 	if len(n.blocked) > 0 && n.blocked[[2]types.NodeID{e.id, to}] {
+		// A blocked link loses the frame before the wire: count it so drop
+		// accounting stays exact under scripted partitions (a peer retrying
+		// an unreachable node shows up as drops, not sends).
+		e.stats.MsgsDropped++
 		return
 	}
 	size := m.WireSize()

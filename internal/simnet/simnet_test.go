@@ -239,11 +239,19 @@ func TestPartition(t *testing.T) {
 	if len(*got) != 0 {
 		t.Fatal("blocked link delivered")
 	}
+	// A frame lost to a blocked link counts as dropped, not sent, so peers
+	// retrying an unreachable node keep transport accounting exact.
+	if st := n.Endpoint(0).Stats(); st.MsgsDropped != 1 || st.MsgsSent != 0 {
+		t.Fatalf("blocked send accounting: dropped=%d sent=%d, want 1/0", st.MsgsDropped, st.MsgsSent)
+	}
 	n.Block(0, 1, false)
 	n.Endpoint(0).Send(1, msg(10))
 	n.Run(100 * time.Millisecond)
 	if len(*got) != 1 {
 		t.Fatal("unblocked link did not deliver")
+	}
+	if st := n.Endpoint(0).Stats(); st.MsgsDropped != 1 || st.MsgsSent != 1 {
+		t.Fatalf("unblocked send accounting: dropped=%d sent=%d, want 1/1", st.MsgsDropped, st.MsgsSent)
 	}
 }
 

@@ -189,6 +189,11 @@ const (
 	walName = "clanbft.wal"
 )
 
+// WALPath returns the WAL file location inside a Disk store's directory.
+// Fault-injection tests use it to damage the tail between Close and Open,
+// simulating a torn write at the crash point.
+func WALPath(dir string) string { return filepath.Join(dir, walName) }
+
 // Disk is a WAL-backed Store with RocksDB-style group commit: concurrent
 // writers append their encoded records to a forming in-memory group, one of
 // them (the leader) flushes the whole group with a single write and — when

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"clanbft/internal/faults"
 )
 
 // FuzzWALReplay feeds arbitrary bytes to the two trust boundaries of the WAL
@@ -38,6 +40,17 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{recBatch, recPut, 0xff, 0xff, 0xff})
 	// Torn tail: valid record followed by a truncated header.
 	f.Add(append(append([]byte{}, wal...), 1, 2, 3))
+	// Fault-layer-generated torn tails: cut the WAL at every record boundary
+	// and one byte to either side — exactly the crash points the chaos
+	// runner's restart events produce (TornLastBoundary / TornLastRecord /
+	// mid-header tears).
+	for _, p := range faults.TornTailPoints(wal) {
+		for _, cut := range []int64{p - 1, p, p + 1} {
+			if cut >= 0 && cut <= int64(len(wal)) {
+				f.Add(append([]byte{}, wal[:cut]...))
+			}
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Op-level framing must reject or parse, never read out of bounds.

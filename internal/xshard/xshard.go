@@ -143,9 +143,9 @@ type Coordinator struct {
 	// on the targets directly).
 	EmitEffect func(Effect)
 
-	pending map[effectKey]map[types.NodeID]bool
+	pending   map[effectKey]map[types.NodeID]bool
 	certified map[effectKey][]byte
-	applied map[effectKey]bool
+	applied   map[effectKey]bool
 
 	// Metrics.
 	LocalTxs, CrossEmitted, CrossApplied int
