@@ -34,6 +34,7 @@ import (
 	"clanbft/internal/core"
 	"clanbft/internal/crypto"
 	"clanbft/internal/mempool"
+	"clanbft/internal/metrics"
 	"clanbft/internal/store"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
@@ -88,6 +89,14 @@ type Options struct {
 	// on a GOMAXPROCS-wide crypto.VerifyPool so one core can no longer
 	// bottleneck the whole node.
 	SerialVerify bool
+	// ExecQueue decouples commit delivery from the consensus handler:
+	// when > 0, OnCommit callbacks run on a dedicated execution goroutine
+	// behind a bounded queue of this capacity, so an expensive callback
+	// (block execution) never stalls vote handling. The handoff never
+	// blocks and preserves commit order exactly. 0 (default) runs
+	// callbacks inline on the handler goroutine, where they must not
+	// block.
+	ExecQueue int
 	// StoreDir persists consensus state under this directory (one
 	// subdirectory per node); empty keeps everything in memory.
 	StoreDir string
@@ -208,6 +217,7 @@ func NewCluster(o Options) (*Cluster, error) {
 			LeadersPerRound: o.LeadersPerRound,
 			RoundTimeout:    o.RoundTimeout,
 			VerifyCores:     verifyCores,
+			ExecQueue:       o.ExecQueue,
 			Deliver: func(cv core.CommittedVertex) {
 				for _, fn := range c.onCommit[i] {
 					fn(cv)
@@ -225,8 +235,9 @@ func NewCluster(o Options) (*Cluster, error) {
 }
 
 // OnCommit registers a callback receiving node i's total order. Must be
-// called before Start; callbacks run on the node's handler goroutine and
-// must not block.
+// called before Start. With Options.ExecQueue == 0 callbacks run on the
+// node's handler goroutine and must not block; with ExecQueue > 0 they run
+// on the node's execution goroutine and may block freely.
 func (c *Cluster) OnCommit(i int, fn func(Commit)) {
 	if c.started {
 		panic("clanbft: OnCommit after Start")
@@ -315,11 +326,26 @@ func (c *Cluster) Keys(i int) *crypto.KeyPair { return &c.keys[i] }
 // Metrics returns node i's consensus counters.
 func (c *Cluster) Metrics(i int) core.Metrics { return c.nodes[i].MetricsSnapshot() }
 
+// PipelineMetrics returns node i's unified pipeline metrics snapshot:
+// per-stage queue depths, occupancy, and latency histograms for
+// intake/rbc/order/exec, plus transport and store counters.
+func (c *Cluster) PipelineMetrics(i int) metrics.Snapshot {
+	return c.nodes[i].PipelineSnapshot()
+}
+
 // Round returns node i's current round.
 func (c *Cluster) Round(i int) types.Round { return c.nodes[i].Round() }
 
-// Stop shuts the cluster down.
+// Stop shuts the cluster down: drains pending commit deliveries (when
+// ExecQueue > 0), stops every node (cancelling timers and retiring the
+// execution goroutines), then closes the network, verify pool, and stores.
 func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Flush()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
 	c.net.Close()
 	if c.vpool != nil {
 		c.vpool.Close()

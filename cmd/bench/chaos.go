@@ -6,6 +6,7 @@ import (
 
 	"clanbft/internal/core"
 	"clanbft/internal/faults/chaos"
+	"clanbft/internal/metrics"
 )
 
 // runChaos executes `perMode` seeded mixed-fault scenarios in each clan mode
@@ -15,9 +16,10 @@ import (
 // violation prints the reproduction seed plus the full event trace and makes
 // the run fail; re-running with `-seed <printed seed> -chaos-scenarios 1`
 // (and the printed mode) replays the identical schedule.
-func runChaos(base int64, perMode int) error {
+func runChaos(base int64, perMode int, showMetrics bool) error {
 	fmt.Printf("Chaos — %d seeded mixed-fault scenarios per mode (base seed %d)\n\n", perMode, base)
 	failures := 0
+	var snaps []metrics.Snapshot
 	for _, mode := range []core.Mode{core.ModeSingleClan, core.ModeMultiClan} {
 		for s := int64(0); s < int64(perMode); s++ {
 			seed := base + s
@@ -27,6 +29,7 @@ func runChaos(base int64, perMode int) error {
 			}
 			r := chaos.Run(chaos.Options{Seed: seed, Mode: mode, Dir: dir})
 			os.RemoveAll(dir)
+			snaps = append(snaps, r.Pipeline)
 			if r.Failed() {
 				failures++
 				fmt.Printf("FAIL %-12s seed=%d\n  violations: %v\n  trace:\n%s\n",
@@ -35,6 +38,10 @@ func runChaos(base int64, perMode int) error {
 				fmt.Printf("ok   %-12s seed=%d ordered=%v\n", mode, seed, r.OrderedAtEnd)
 			}
 		}
+	}
+	if showMetrics {
+		fmt.Println("\npipeline metrics (merged across scenarios):")
+		metrics.Merge(snaps...).Fprint(os.Stdout)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d scenario(s) violated safety or liveness — reproduce from the printed seed", failures)

@@ -13,14 +13,22 @@
 //	bench -exp sec62     # Section 6.2 concrete probabilities
 //	bench -exp comm      # communication-complexity accounting
 //	bench -exp ablate    # single-clan throughput vs clan size
-//	bench -exp micro     # transport/WAL micro-benchmarks -> BENCH_PR2.json
+//	bench -exp micro     # transport/WAL/pipeline micro-benchmarks -> BENCH_PR4.json
 //	bench -exp chaos     # seeded mixed-fault property runner (safety+liveness)
 //	bench -exp all       # every simulator experiment (micro/chaos run only when named)
 //
 // -baseline compares -exp micro results against a checked-in JSON artifact
-// and fails on allocs/op or fsyncs/op regressions beyond ±20% (the CI
-// bench-regression gate). -chaos-scenarios sets the seeds swept per clan
-// mode for -exp chaos; -seed is the first seed.
+// and fails on regressions beyond tolerance: allocs/op and fsyncs/op must
+// not rise more than 20%, end-to-end commits/sec must not fall below 80% of
+// baseline (the CI bench-regression gate). -chaos-scenarios sets the seeds
+// swept per clan mode for -exp chaos; -seed is the first seed.
+//
+// -metrics prints the merged per-stage pipeline metrics snapshot (queue
+// depths, occupancy, latency histograms for intake/rbc/order/exec, plus
+// transport/store counters) after each experiment.
+//
+// -cpuprofile and -memprofile write pprof artifacts covering the whole run;
+// see EXPERIMENTS.md for the profiling workflow.
 //
 // -quick shrinks windows and load sets (minutes instead of hours);
 // -full runs the paper's complete 13-point load sweep.
@@ -30,11 +38,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"clanbft/internal/core"
 	"clanbft/internal/harness"
+	"clanbft/internal/metrics"
 )
 
 func main() {
@@ -43,15 +54,61 @@ func main() {
 		quick = flag.Bool("quick", false, "short windows and fewer load points")
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
-		mout  = flag.String("micro-out", "BENCH_PR2.json", "output path for -exp micro results")
-		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, ±20%)")
+		mout  = flag.String("micro-out", "BENCH_PR4.json", "output path for -exp micro results")
+		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, commits/sec)")
 		nchao = flag.Int("chaos-scenarios", 10, "seeds per clan mode for -exp chaos")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
 		measF = flag.Duration("measure", 10*time.Second, "simulated measurement window")
+		showm = flag.Bool("metrics", false, "print the merged per-stage pipeline metrics after each experiment")
+		cpup  = flag.String("cpuprofile", "", "write a CPU profile covering the whole run")
+		memp  = flag.String("memprofile", "", "write a heap profile at exit")
 	)
 	flag.Parse()
 	debug.SetGCPercent(400)
 	debug.SetMemoryLimit(12 << 30)
+
+	// Profiling covers everything between flag parsing and exit, including
+	// the exit-on-error paths (fail stops the profile before os.Exit, which
+	// would skip deferred stops).
+	var cpuf *os.File
+	if *cpup != "" {
+		f, err := os.Create(*cpup)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuf = f
+	}
+	finishProfiles := func() {
+		if cpuf != nil {
+			pprof.StopCPUProfile()
+			cpuf.Close()
+			cpuf = nil
+			fmt.Fprintf(os.Stderr, "wrote cpu profile %s\n", *cpup)
+		}
+		if *memp != "" {
+			f, err := os.Create(*memp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote heap profile %s\n", *memp)
+		}
+	}
+	fail := func(prefix string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+		finishProfiles()
+		os.Exit(1)
+	}
 
 	warm, meas := *warmF, *measF
 	loads := harness.DefaultLoads
@@ -66,25 +123,41 @@ func main() {
 	run := func(name string) bool { return *exp == name || *exp == "all" }
 	start := time.Now()
 
+	// printPipeline renders the unified metrics spine for one experiment:
+	// every Result carries its cluster-merged snapshot; merging across rows
+	// gives the experiment-wide view.
+	printPipeline := func(rs []harness.Result) {
+		if !*showm {
+			return
+		}
+		snaps := make([]metrics.Snapshot, len(rs))
+		for i, r := range rs {
+			snaps[i] = r.Pipeline
+		}
+		fmt.Println("  pipeline metrics (merged across rows):")
+		metrics.Merge(snaps...).Fprint(os.Stdout)
+		fmt.Println()
+	}
+
 	// Micro-benchmarks run only when named: they measure the real transport
 	// and store, not the simulator, and emit their own JSON artifact.
 	if *exp == "micro" {
 		if err := runMicro(*mout, *mbase); err != nil {
-			fmt.Fprintln(os.Stderr, "micro:", err)
-			os.Exit(1)
+			fail("micro", err)
 		}
 		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		finishProfiles()
 		return
 	}
 
 	// The chaos property runner likewise runs only when named: it exercises
 	// disk stores and fault schedules, not the throughput experiments.
 	if *exp == "chaos" {
-		if err := runChaos(*seed, *nchao); err != nil {
-			fmt.Fprintln(os.Stderr, "chaos:", err)
-			os.Exit(1)
+		if err := runChaos(*seed, *nchao, *showm); err != nil {
+			fail("chaos", err)
 		}
 		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		finishProfiles()
 		return
 	}
 
@@ -107,16 +180,19 @@ func main() {
 		rs := harness.Figure5(harness.SweepConfig{N: 50, Loads: loads, Warmup: warm, Measure: meas, Seed: *seed})
 		harness.PrintSweep(os.Stdout, "Figure 5a — throughput vs latency at n=50", rs)
 		fmt.Println()
+		printPipeline(rs)
 	}
 	if run("fig5b") {
 		rs := harness.Figure5(harness.SweepConfig{N: 100, Loads: loads, Warmup: warm, Measure: meas, Seed: *seed})
 		harness.PrintSweep(os.Stdout, "Figure 5b — throughput vs latency at n=100", rs)
 		fmt.Println()
+		printPipeline(rs)
 	}
 	if run("fig5c") {
 		rs := harness.Figure5(harness.SweepConfig{N: 150, Loads: loads, Warmup: warm, Measure: meas, Seed: *seed})
 		harness.PrintSweep(os.Stdout, "Figure 5c — throughput vs latency at n=150 (incl. multi-clan)", rs)
 		fmt.Println()
+		printPipeline(rs)
 	}
 	if run("fig6") {
 		rs := harness.Figure5(harness.SweepConfig{
@@ -125,6 +201,7 @@ func main() {
 		})
 		harness.PrintSweep(os.Stdout, "Figure 6 — throughput vs txs/proposal at n=150", rs)
 		fmt.Println()
+		printPipeline(rs)
 	}
 	if run("ablate") {
 		n := 50
@@ -133,6 +210,7 @@ func main() {
 		harness.PrintSweep(os.Stdout, "Ablation — single-clan throughput vs clan size (n=50, 3000 txs/prop)", rs)
 		fmt.Println("  (clan=50 degenerates to full dissemination with clan-only proposers)")
 		fmt.Println()
+		printPipeline(rs)
 	}
 	if run("comm") {
 		n, load := 40, 1000
@@ -144,4 +222,5 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+	finishProfiles()
 }

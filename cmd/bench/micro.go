@@ -32,11 +32,13 @@ func runMicro(path, baseline string) error {
 }
 
 // compareBaseline gates CI on the structural metrics of the micro-benchmark
-// suite: allocs/op (the encode-once claim) and fsyncs/op (the group-commit
-// claim). Both are deterministic properties of the code path, unlike ns/op,
-// which depends on the runner — so only they gate, with a ±20% tolerance
-// plus a one-allocation absolute slack (testing.Benchmark rounds allocs to
-// integers). Only regressions fail; improvements just print.
+// suite: allocs/op (the encode-once claim), fsyncs/op (the group-commit
+// claim), and end-to-end commits/sec (the pipeline claim; simulated time, so
+// deterministic). All are properties of the code path, unlike ns/op, which
+// depends on the runner — so only they gate, with a ±20% tolerance plus a
+// one-allocation absolute slack (testing.Benchmark rounds allocs to
+// integers). commits/sec is higher-is-better: the gate fails on decreases.
+// Only regressions fail; improvements just print.
 func compareBaseline(rows []perfbench.Row, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -59,7 +61,19 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 			status = "FAIL"
 			regressions++
 		}
-		fmt.Printf("  %s %-45s %-10s %.3f (baseline %.3f, limit %.3f)\n",
+		fmt.Printf("  %s %-45s %-11s %.3f (baseline %.3f, limit %.3f)\n",
+			status, name, metric, got, want, limit)
+	}
+	// checkMin is check for higher-is-better metrics: regression = falling
+	// below 80% of the baseline.
+	checkMin := func(name, metric string, got, want float64) {
+		limit := want * 0.8
+		status := "ok  "
+		if got < limit {
+			status = "FAIL"
+			regressions++
+		}
+		fmt.Printf("  %s %-45s %-11s %.3f (baseline %.3f, floor %.3f)\n",
 			status, name, metric, got, want, limit)
 	}
 	for _, r := range rows {
@@ -75,6 +89,9 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 			// meaningful (a no-batching regression lands at 1.0) without
 			// tripping on scheduler jitter.
 			check(r.Name, "fsyncs/op", r.Extra["fsyncs/op"], want, 0.1)
+		}
+		if want, ok := b.Extra["commits/sec"]; ok {
+			checkMin(r.Name, "commits/sec", r.Extra["commits/sec"], want)
 		}
 	}
 	if regressions > 0 {

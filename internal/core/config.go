@@ -18,6 +18,22 @@
 // strong paths, deterministic total ordering) is identical across modes —
 // exactly the paper's claim that the clan technique slots into existing
 // RBC-based DAG protocols without touching their commit logic.
+//
+// # Staged commit pipeline
+//
+// The engine is organized as four explicit stages, each with its own state,
+// file, and metrics namespace (see internal/metrics and types.Stage):
+//
+//	intake  (transport)      wire → verify pool → serialized mailbox
+//	rbc     (stage_rbc.go)   merged vertex+block RBC: VAL/ECHO/cert/deliver
+//	order   (stage_order.go) DAG insertion, leader commit rule, total order
+//	exec    (stage_exec.go)  ordered vertices → the application's Deliver
+//
+// Stages intake–order run in the endpoint's serialized handler context under
+// one mutex (the protocol state machine stays lock-free internally). The
+// exec stage optionally runs on its own goroutine behind a bounded channel
+// (Config.ExecQueue), so executing a multi-megabyte clan block never stalls
+// vote handling — the backpressure contract is documented on ExecQueue.
 package core
 
 import (
@@ -27,6 +43,7 @@ import (
 	"clanbft/internal/committee"
 	"clanbft/internal/crypto"
 	"clanbft/internal/dag"
+	"clanbft/internal/metrics"
 	"clanbft/internal/store"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
@@ -75,6 +92,13 @@ type CommittedVertex struct {
 	// Direct reports whether that leader committed directly (2f+1 votes)
 	// rather than via a strong path from a later leader.
 	Direct bool
+	// OrderedAt is the node's clock reading when the ordering stage handed
+	// this vertex to the execution stage. With an async exec stage the
+	// Deliver callback runs later on another goroutine; OrderedAt is the
+	// deterministic commit timestamp (virtual time under simulation), so
+	// measurement code must use it instead of reading the clock from the
+	// callback.
+	OrderedAt time.Duration
 }
 
 // Config parameterizes a consensus node.
@@ -102,6 +126,33 @@ type Config struct {
 	OnUnhandled func(from types.NodeID, m types.Message)
 	// Deliver receives the total order, one committed vertex at a time.
 	Deliver func(CommittedVertex)
+
+	// ExecQueue selects the execution/commit stage's handoff:
+	//
+	//	0 (default): Deliver runs inline on the serialized handler, as a
+	//	  synchronous fourth stage (legacy behavior — required for
+	//	  single-threaded discrete-event tests that read results without a
+	//	  flush barrier).
+	//	>0: Deliver runs on a dedicated goroutine fed through a bounded
+	//	  channel of this capacity. The backpressure contract: the
+	//	  ordering stage NEVER blocks — when the channel is full,
+	//	  committed vertices spill to an unbounded staging list (counted
+	//	  in exec.backpressure and visible in exec.queue_depth) and are
+	//	  refilled into the channel as the executor drains, preserving
+	//	  commit order exactly. Consensus timing is therefore independent
+	//	  of execution cost; a persistently growing exec.queue_depth is
+	//	  the signal for the application to throttle its BlockSource.
+	//
+	// Call Node.Flush to wait for the stage to drain before reading
+	// execution-side state; Node.Stop abandons undelivered entries (crash
+	// semantics — recovery re-emits the order from the store).
+	ExecQueue int
+
+	// Metrics, when non-nil, is the registry all four pipeline stages
+	// record into; nil gives the node a private registry. Either way
+	// Node.PipelineMetrics returns it and Node.PipelineSnapshot reports
+	// per-stage queue depths, occupancy, and latency histograms.
+	Metrics *metrics.Registry
 
 	// LeadersPerRound enables multi-leader Sailfish: the paper's baseline
 	// implementation commits multiple leader vertices per round, all with
@@ -171,7 +222,9 @@ type Node struct {
 	// Start) with external accessors (Round, Metrics). Under the
 	// simulator all entries already run on one goroutine; under real
 	// transports the mailbox serializes handler calls but Start and the
-	// monitoring accessors run on caller goroutines.
+	// monitoring accessors run on caller goroutines. The async exec stage
+	// runs outside mu entirely (it only consumes immutable committed
+	// vertices).
 	mu sync.Mutex
 
 	cfg Config
@@ -191,14 +244,15 @@ type Node struct {
 	inClan   []map[types.NodeID]bool // clan -> membership set
 
 	dag *dag.DAG
-	// insts holds RBC instance state, round-sliced: insts[r][source].
-	insts  map[types.Round][]*vinst
-	blocks map[types.Hash]*types.Block
 
-	// Per-round delivery tracking (round quorum + leader arrival).
-	deliveredByRound map[types.Round][]*types.Vertex
-	leaderDelivered  map[types.Round]bool
+	// The pipeline stages. rbc owns the per-position RBC instance state
+	// (the vinst map); ord owns DAG ordering and commit state; exec is nil
+	// in synchronous mode (Deliver inline on the handler).
+	rbc  rbcState
+	ord  orderState
+	exec *execStage
 
+	// Round progression (view state shared by the rbc and order stages).
 	round          types.Round // highest round proposed
 	maxQuorumRound types.Round // highest round with 2f+1 delivered incl. leader
 	started        bool
@@ -206,28 +260,11 @@ type Node struct {
 	roundTimer     transport.Timer
 	timedOutRound  map[types.Round]bool
 
-	// Vote tracking for the leader commit rule: votes[lp] = sources of
-	// round lp.Round+1 proposals with a strong edge to leader vertex lp.
-	votes           map[types.Position]map[types.NodeID]bool
-	committedDirect map[types.Position]bool
-	// lastOrderedSeq is the highest leader slot (round*L + idx) already
-	// enqueued for ordering.
-	lastOrderedSeq uint64
-	haveOrdered    bool
-
 	// Timeout/no-vote certificate assembly.
 	timeoutAggs map[types.Round]*crypto.Aggregator
 	tcs         map[types.Round]*types.TimeoutCert
 	novoteAggs  map[types.Round]*crypto.Aggregator
 	nvcs        map[types.Round]*types.NoVoteCert
-
-	// Deferred work.
-	echoWait       map[types.Position][]types.Position // parent -> children awaiting echo
-	pendingInsert  map[types.Position]*types.Vertex    // delivered, awaiting parents
-	waitingChild   map[types.Position][]types.Position // parent -> children waiting on it
-	pendingLeaders []leaderCommit                      // committed, awaiting complete history
-	commitWait     map[types.Position]bool             // ancestors the head commit waits for
-	outQueue       []CommittedVertex                   // ordered, awaiting blocks
 
 	// scratchSeen is a reusable N-sized buffer for validateVertex.
 	scratchSeen []bool
@@ -239,11 +276,22 @@ type Node struct {
 	// single group-commit fsync per flush.
 	wb store.Batch
 
-	// lateVertices collects vertices that missed strong-edge inclusion and
-	// must be weak-edged by the next proposal (guarantees BAB validity).
-	lateVertices map[types.Position]*types.Vertex
+	// reg is the unified metrics registry; the m* fields cache hot-path
+	// instrument pointers.
+	reg           *metrics.Registry
+	mIntakeMsgs   *metrics.Counter
+	mIntakeLat    *metrics.Histogram
+	mRBCDelivered *metrics.Counter
+	mRBCLat       *metrics.Histogram
+	mOrderCommits *metrics.Counter
+	mOrderVerts   *metrics.Counter
+	mOrderLat     *metrics.Histogram
+	mExecDone     *metrics.Counter
+	mExecTxs      *metrics.Counter
+	mExecLat      *metrics.Histogram
 
-	// Metrics.
+	// Metrics is the legacy counter struct, retained as a compatibility
+	// view; PipelineSnapshot is the unified interface.
 	Metrics Metrics
 }
 
@@ -268,66 +316,36 @@ type Metrics struct {
 	LastOrderedRound  types.Round
 }
 
-// vinst is the merged vertex+block RBC instance state for one position.
-type vinst struct {
-	vertex   *types.Vertex
-	valFrom  bool // first VAL processed (vote counted, echo considered)
-	block    *types.Block
-	hasBlock bool
-
-	echoSent       bool
-	echoRegistered bool // parked in echoWait until parents deliver
-	certSent       bool
-	echoes         map[types.Hash]*echoTally
-
-	certDigest types.Hash
-	hasCert    bool
-	cert       *types.EchoCertMsg // retained for peer catch-up (VtxReq)
-
-	delivered bool // vertex + cert complete (counts toward round quorum)
-	inserted  bool // in the DAG (or pending parent buffer)
-
-	blockPull  transport.Timer
-	vtxPull    transport.Timer
-	pullCursor int
-}
-
-// echoTally folds echo votes for one candidate digest incrementally: the
-// aggregator holds the signer bitmap plus the XOR-folded tag (becoming the
-// certificate when the quorum completes), clanVotes counts voters from the
-// proposer's block clan.
-type echoTally struct {
-	agg       *crypto.Aggregator
-	total     int
-	clanVotes int
-}
-
 // New creates a consensus node bound to an endpoint and clock.
 func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 	cfg.fill()
 	n := &Node{
-		cfg:              cfg,
-		ep:               ep,
-		clk:              clk,
-		dag:              dag.New(cfg.N),
-		insts:            map[types.Round][]*vinst{},
-		blocks:           map[types.Hash]*types.Block{},
-		deliveredByRound: map[types.Round][]*types.Vertex{},
-		leaderDelivered:  map[types.Round]bool{},
-		timedOutRound:    map[types.Round]bool{},
-		votes:            map[types.Position]map[types.NodeID]bool{},
-		committedDirect:  map[types.Position]bool{},
-		timeoutAggs:      map[types.Round]*crypto.Aggregator{},
-		tcs:              map[types.Round]*types.TimeoutCert{},
-		novoteAggs:       map[types.Round]*crypto.Aggregator{},
-		nvcs:             map[types.Round]*types.NoVoteCert{},
-		echoWait:         map[types.Position][]types.Position{},
-		pendingInsert:    map[types.Position]*types.Vertex{},
-		waitingChild:     map[types.Position][]types.Position{},
-		commitWait:       map[types.Position]bool{},
-		lateVertices:     map[types.Position]*types.Vertex{},
-		selfClan:         types.NoClan,
-		scratchSeen:      make([]bool, cfg.N),
+		cfg: cfg,
+		ep:  ep,
+		clk: clk,
+		dag: dag.New(cfg.N),
+		rbc: rbcState{
+			insts:    map[types.Round][]*vinst{},
+			blocks:   map[types.Hash]*types.Block{},
+			echoWait: map[types.Position][]types.Position{},
+		},
+		ord: orderState{
+			deliveredByRound: map[types.Round][]*types.Vertex{},
+			leaderDelivered:  map[types.Round]bool{},
+			votes:            map[types.Position]map[types.NodeID]bool{},
+			committedDirect:  map[types.Position]bool{},
+			pendingInsert:    map[types.Position]*types.Vertex{},
+			waitingChild:     map[types.Position][]types.Position{},
+			commitWait:       map[types.Position]bool{},
+			lateVertices:     map[types.Position]*types.Vertex{},
+		},
+		timedOutRound: map[types.Round]bool{},
+		timeoutAggs:   map[types.Round]*crypto.Aggregator{},
+		tcs:           map[types.Round]*types.TimeoutCert{},
+		novoteAggs:    map[types.Round]*crypto.Aggregator{},
+		nvcs:          map[types.Round]*types.NoVoteCert{},
+		selfClan:      types.NoClan,
+		scratchSeen:   make([]bool, cfg.N),
 	}
 	n.vcosts = cfg.Costs
 	if cfg.VerifyCores > 1 {
@@ -368,7 +386,69 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 			n.fcOf = append(n.fcOf, committee.ClanMaxFaulty(len(clan)))
 		}
 	}
+	n.initMetrics()
+	if cfg.ExecQueue > 0 {
+		n.exec = newExecStage(cfg.Deliver, cfg.ExecQueue, n.reg)
+	}
 	return n
+}
+
+// initMetrics wires the node's registry: hot-path instruments for the four
+// stages, plus a snapshot collector that adapts the transport and store
+// compatibility Stats views into the unified namespace and samples the
+// stage queue depths.
+func (n *Node) initMetrics() {
+	reg := n.cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	n.reg = reg
+	n.mIntakeMsgs = reg.Counter(types.StageIntake.Metric("msgs"))
+	n.mIntakeLat = reg.Histogram(types.StageIntake.Metric("latency"))
+	n.mRBCDelivered = reg.Counter(types.StageRBC.Metric("delivered"))
+	n.mRBCLat = reg.Histogram(types.StageRBC.Metric("latency"))
+	n.mOrderCommits = reg.Counter(types.StageOrder.Metric("commits"))
+	n.mOrderVerts = reg.Counter(types.StageOrder.Metric("vertices"))
+	n.mOrderLat = reg.Histogram(types.StageOrder.Metric("latency"))
+	n.mExecDone = reg.Counter(types.StageExec.Metric("committed"))
+	n.mExecTxs = reg.Counter(types.StageExec.Metric("txs"))
+	n.mExecLat = reg.Histogram(types.StageExec.Metric("latency"))
+	// Queue-depth gauges exist even before the first snapshot samples them.
+	reg.Gauge(types.StageExec.Metric("queue_depth"))
+	reg.OnSnapshot(func(s *metrics.Snapshot) {
+		st := n.ep.Stats()
+		s.SetGauge(types.StageIntake.Metric("queue_depth"), int64(st.HandlerQueue))
+		s.SetGauge(types.StageIntake.Metric("verify_pending"), int64(st.VerifyPending))
+		s.SetCounter(types.StageIntake.Metric("verify_queued"), st.VerifyQueued)
+		s.SetCounter(types.StageIntake.Metric("verify_rejected"), st.VerifyRejected)
+		s.SetCounter("transport.msgs_sent", st.MsgsSent)
+		s.SetCounter("transport.bytes_sent", st.BytesSent)
+		s.SetCounter("transport.msgs_recv", st.MsgsRecv)
+		s.SetCounter("transport.bytes_recv", st.BytesRecv)
+		s.SetCounter("transport.msgs_dropped", st.MsgsDropped)
+		n.mu.Lock()
+		live := 0
+		for _, row := range n.rbc.insts {
+			for _, in := range row {
+				if in != nil {
+					live++
+				}
+			}
+		}
+		s.SetGauge(types.StageRBC.Metric("queue_depth"), int64(live))
+		s.SetGauge(types.StageOrder.Metric("queue_depth"),
+			int64(len(n.ord.outQueue)+len(n.ord.pendingInsert)+len(n.ord.pendingLeaders)))
+		n.mu.Unlock()
+		if n.cfg.Store != nil {
+			if d, ok := n.cfg.Store.(*store.Disk); ok {
+				ds := d.Stats()
+				s.SetCounter("store.records", ds.Records)
+				s.SetCounter("store.groups", ds.Groups)
+				s.SetCounter("store.syncs", ds.Syncs)
+				s.SetCounter("store.bytes", ds.Bytes)
+			}
+		}
+	})
 }
 
 // blockClan returns the clan that receives proposer's blocks, or NoClan if
@@ -435,12 +515,23 @@ func (n *Node) Round() types.Round {
 	return n.round
 }
 
-// MetricsSnapshot returns a consistent copy of the node's counters.
+// MetricsSnapshot returns a consistent copy of the node's legacy counters.
 func (n *Node) MetricsSnapshot() Metrics {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.Metrics
 }
+
+// PipelineMetrics returns the node's metrics registry (shared with the
+// caller when Config.Metrics was set).
+func (n *Node) PipelineMetrics() *metrics.Registry { return n.reg }
+
+// PipelineSnapshot reports the unified per-stage metrics view: queue depths,
+// latency histograms, and throughput counters for intake, rbc, order, and
+// exec, plus the transport and store compatibility counters. Do not call it
+// from inside a Deliver callback running in synchronous mode (it takes the
+// node's lock to sample queue depths).
+func (n *Node) PipelineSnapshot() metrics.Snapshot { return n.reg.Snapshot() }
 
 // DAG exposes the node's DAG (read-only use by tests and tools; callers
 // must not use it concurrently with a running node).

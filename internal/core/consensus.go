@@ -1,12 +1,14 @@
 package core
 
 import (
-	"sort"
-	"time"
-
 	"clanbft/internal/crypto"
 	"clanbft/internal/types"
 )
+
+// This file is the view layer shared by the rbc and order stages: vertex
+// structural validation, round progression (propose/tryAdvance), and the
+// timeout / no-vote certificate machinery that lets rounds advance without
+// their leader. The commit rule and total ordering live in stage_order.go.
 
 // validateVertex checks the structural rules a round-r vertex must satisfy
 // before this party echoes it:
@@ -93,118 +95,6 @@ func (n *Node) validNVC(nvc *types.NoVoteCert) bool {
 // ---------------------------------------------------------------------------
 // Round progression.
 
-// onDelivered runs when the merged RBC completes for a vertex: insert into
-// the DAG (or buffer until parents arrive), track late vertices, advance
-// rounds, retry commits.
-func (n *Node) onDelivered(v *types.Vertex) {
-	n.tryInsert(v)
-	// NOTE: the round timer is deliberately NOT cancelled when the leader
-	// vertex arrives — it doubles as the stuck-round probe that keeps
-	// pulling missing vertices and re-broadcasting timeout state until
-	// the round actually advances (propose() disarms it). Timeout votes
-	// themselves stay gated on the leader's absence.
-	// A vote quorum may have formed before the leader vertex arrived.
-	if n.leaderIdx(v.Pos()) >= 0 {
-		n.checkCommit(v.Pos())
-	}
-	n.tryAdvance()
-}
-
-// tryInsert adds v to the DAG once all parents are present; otherwise it
-// buffers v and retries when parents land.
-func (n *Node) tryInsert(v *types.Vertex) {
-	pos := v.Pos()
-	if n.dag.Has(pos) || n.gcd(pos) {
-		return
-	}
-	missing := n.missingParents(v)
-	if len(missing) > 0 {
-		n.pendingInsert[pos] = v
-		for _, p := range missing {
-			n.waitingChild[p] = append(n.waitingChild[p], pos)
-			// A parent that was never pushed to us must be pulled:
-			// its RBC may have completed at others while our VAL
-			// was lost pre-GST.
-			if in := n.inst(p); !in.delivered {
-				n.maybeStartVtxPull(p, in)
-			}
-		}
-		return
-	}
-	n.insertNow(v)
-}
-
-func (n *Node) missingParents(v *types.Vertex) []types.Position {
-	var missing []types.Position
-	check := func(e types.VertexRef) {
-		p := e.Pos()
-		if p.Round < n.dag.MinRound() || n.dag.Has(p) {
-			return
-		}
-		missing = append(missing, p)
-	}
-	for _, e := range v.StrongEdges {
-		check(e)
-	}
-	for _, e := range v.WeakEdges {
-		check(e)
-	}
-	return missing
-}
-
-func (n *Node) insertNow(v *types.Vertex) {
-	pos := v.Pos()
-	// Parent-presence reads against the store (the paper observes these
-	// lookups contribute to latency at n=150).
-	n.clk.Charge(time.Duration(len(v.StrongEdges)+len(v.WeakEdges)) * n.cfg.Costs.StoreRead)
-	if err := n.dag.Insert(v); err != nil {
-		return // equivocation cannot reach here through RBC; drop defensively
-	}
-	if n.cfg.Store != nil {
-		var key [2 + 8 + 2]byte
-		key[0], key[1] = 'v', '/'
-		binaryPutPos(key[2:], pos)
-		n.putOwned(key[:], v.Marshal(nil))
-	}
-	n.clk.Charge(n.cfg.Costs.StoreWrite)
-	delete(n.pendingInsert, pos)
-
-	// Vertices that already missed strong-edge inclusion get weak edges in
-	// our next proposal so they are eventually ordered (BAB validity).
-	if v.Round+1 <= n.round {
-		n.lateVertices[pos] = v
-	}
-
-	// Unblock buffered children.
-	if kids := n.waitingChild[pos]; len(kids) > 0 {
-		delete(n.waitingChild, pos)
-		for _, kid := range kids {
-			if pend, ok := n.pendingInsert[kid]; ok && len(n.missingParents(pend)) == 0 {
-				n.insertNow(pend)
-			}
-		}
-	}
-	// Newly present ancestors may complete a committed leader's history.
-	if len(n.commitWait) > 0 {
-		if n.commitWait[pos] {
-			delete(n.commitWait, pos)
-			if len(n.commitWait) == 0 {
-				n.drainCommits()
-			}
-		}
-		return
-	}
-	n.drainCommits()
-}
-
-func binaryPutPos(b []byte, pos types.Position) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(pos.Round >> (8 * (7 - i)))
-	}
-	b[8] = byte(pos.Source >> 8)
-	b[9] = byte(pos.Source)
-}
-
 // tryAdvance proposes the next round(s) whenever the progression rule is
 // satisfied: >= 2f+1 round-r vertices delivered AND (round r's leader vertex
 // delivered, OR we hold TC_r — with the extra NVC_r requirement when this
@@ -212,8 +102,8 @@ func binaryPutPos(b []byte, pos types.Position) {
 func (n *Node) tryAdvance() {
 	for {
 		r := n.round
-		if len(n.deliveredByRound[r]) >= 2*n.cfg.F+1 {
-			ok := n.leaderDelivered[r]
+		if len(n.ord.deliveredByRound[r]) >= 2*n.cfg.F+1 {
+			ok := n.ord.leaderDelivered[r]
 			if !ok && n.tcs[r] != nil {
 				ok = n.leader(r+1) != n.cfg.Self || n.nvcs[r] != nil
 			}
@@ -248,10 +138,10 @@ func (n *Node) propose(r types.Round) {
 
 	if r > 0 {
 		prev := r - 1
-		for _, pv := range n.deliveredByRound[prev] {
+		for _, pv := range n.ord.deliveredByRound[prev] {
 			v.StrongEdges = append(v.StrongEdges, pv.Ref())
 		}
-		if !n.leaderDelivered[prev] {
+		if !n.ord.leaderDelivered[prev] {
 			tc := n.tcs[prev]
 			if tc == nil {
 				panic("core: propose without leader or TC")
@@ -265,13 +155,13 @@ func (n *Node) propose(r types.Round) {
 				v.NVC = nvc
 			}
 		}
-		for pos, lv := range n.lateVertices {
+		for pos, lv := range n.ord.lateVertices {
 			if pos.Round < n.dag.MinRound() || n.dag.IsOrdered(pos) || pos.Round >= r-1 {
-				delete(n.lateVertices, pos)
+				delete(n.ord.lateVertices, pos)
 				continue
 			}
 			v.WeakEdges = append(v.WeakEdges, lv.Ref())
-			delete(n.lateVertices, pos)
+			delete(n.ord.lateVertices, pos)
 		}
 	}
 
@@ -286,7 +176,7 @@ func (n *Node) propose(r types.Round) {
 			}
 			n.clk.Charge(n.cfg.Costs.HashCost(blk.PayloadBytes()))
 			v.BlockDigest = blk.Digest()
-			n.blocks[v.BlockDigest] = blk
+			n.rbc.blocks[v.BlockDigest] = blk
 			if n.cfg.Store != nil {
 				// Staged only: persistProposal flushes the block and the
 				// proposal record as one atomic batch below.
@@ -342,7 +232,7 @@ func (n *Node) onRoundTimeout(r types.Round) {
 	if r != n.round {
 		return
 	}
-	if !n.timedOutRound[r] && !n.leaderDelivered[r] {
+	if !n.timedOutRound[r] && !n.ord.leaderDelivered[r] {
 		n.timedOutRound[r] = true
 		n.Metrics.Timeouts++
 	}
@@ -350,7 +240,7 @@ func (n *Node) onRoundTimeout(r types.Round) {
 	// under message loss (pre-GST drops, partitions) — a healed network
 	// must be able to reassemble timeout certificates and re-fetch the
 	// round's vertices, so re-broadcast until the round advances.
-	if n.cfg.Key != nil && !n.leaderDelivered[r] {
+	if n.cfg.Key != nil && !n.ord.leaderDelivered[r] {
 		if tc := n.tcs[r]; tc != nil {
 			n.ep.Broadcast(&types.TCMsg{TC: *tc})
 		} else {
@@ -396,7 +286,7 @@ func (n *Node) onRoundTimeout(r types.Round) {
 
 func (n *Node) onTimeout(from types.NodeID, m *types.TimeoutMsg) {
 	r := m.TO.Round
-	if from != m.TO.Voter || n.tcs[r] != nil || r < n.dag.MinRound() {
+	if from != m.TO.Voter || n.tcs[r] != nil || n.gcdRound(r) {
 		return
 	}
 	ctx := timeoutCtx(r)
@@ -425,7 +315,7 @@ func (n *Node) onTimeout(from types.NodeID, m *types.TimeoutMsg) {
 
 func (n *Node) onTCMsg(from types.NodeID, m *types.TCMsg) {
 	r := m.TC.Round
-	if n.tcs[r] != nil || r < n.dag.MinRound() {
+	if n.tcs[r] != nil || n.gcdRound(r) {
 		return
 	}
 	if !n.validTC(&m.TC, m.PreVerified()) {
@@ -438,7 +328,7 @@ func (n *Node) onTCMsg(from types.NodeID, m *types.TCMsg) {
 
 func (n *Node) onNoVote(from types.NodeID, m *types.NoVoteMsg) {
 	r := m.NV.Round
-	if from != m.NV.Voter || n.nvcs[r] != nil || r < n.dag.MinRound() {
+	if from != m.NV.Voter || n.nvcs[r] != nil || n.gcdRound(r) {
 		return
 	}
 	if n.leader(r+1) != n.cfg.Self {
@@ -472,7 +362,7 @@ func (n *Node) resendProposal(v *types.Vertex) {
 	sig := n.cfg.Reg.SignFor(n.cfg.Key, vertexCtx(v.DigestCached()))
 	var blk *types.Block
 	if !v.BlockDigest.IsZero() {
-		blk = n.blocks[v.BlockDigest]
+		blk = n.rbc.blocks[v.BlockDigest]
 	}
 	full := &types.ValMsg{Vertex: v, Block: blk, Sig: sig}
 	lean := &types.ValMsg{Vertex: v, Sig: sig}
@@ -483,245 +373,6 @@ func (n *Node) resendProposal(v *types.Vertex) {
 			n.ep.Send(id, full)
 		} else {
 			n.ep.Send(id, lean)
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Commit rule and total ordering.
-
-// countVote records the implicit votes a round r+1 proposal casts for round
-// r's leader vertices via its strong edges (all LeadersPerRound of them).
-func (n *Node) countVote(v *types.Vertex) {
-	if v.Round == 0 {
-		return
-	}
-	prev := v.Round - 1
-	for k := 0; k < n.cfg.LeadersPerRound; k++ {
-		lp := types.Position{Round: prev, Source: n.leaderAt(prev, k)}
-		if !v.HasStrongEdgeTo(lp) {
-			continue
-		}
-		set, ok := n.votes[lp]
-		if !ok {
-			set = map[types.NodeID]bool{}
-			n.votes[lp] = set
-		}
-		set[v.Source] = true
-		n.checkCommit(lp)
-	}
-}
-
-// checkCommit applies the direct commit rule for a leader vertex: 2f+1
-// next-round proposals with a strong edge to it.
-func (n *Node) checkCommit(lp types.Position) {
-	if n.committedDirect[lp] || len(n.votes[lp]) < 2*n.cfg.F+1 {
-		return
-	}
-	idx := n.leaderIdx(lp)
-	if idx < 0 {
-		return
-	}
-	n.committedDirect[lp] = true
-	n.Metrics.DirectCommits++
-	n.pendingLeaders = append(n.pendingLeaders, leaderCommit{pos: lp, direct: true, seq: n.slotSeq(lp, idx)})
-	sort.Slice(n.pendingLeaders, func(i, j int) bool {
-		return n.pendingLeaders[i].seq < n.pendingLeaders[j].seq
-	})
-	n.drainCommits()
-}
-
-// drainCommits resolves committed leaders into the total order as soon as
-// their causal histories are locally complete, committing skipped leaders
-// indirectly along strong paths. When the head leader's history has gaps,
-// the missing positions are recorded in commitWait and the scan resumes only
-// once they are inserted (avoiding a full-history walk on every insert).
-func (n *Node) drainCommits() {
-	if len(n.commitWait) > 0 {
-		return // still waiting; insertNow re-triggers when satisfied
-	}
-	for len(n.pendingLeaders) > 0 {
-		lc := n.pendingLeaders[0]
-		if n.haveOrdered && lc.seq <= n.lastOrderedSeq {
-			n.pendingLeaders = n.pendingLeaders[1:]
-			continue
-		}
-		if missing := n.dag.MissingAncestors(lc.pos); len(missing) > 0 {
-			for _, p := range missing {
-				if p.Round >= n.dag.MinRound() {
-					n.commitWait[p] = true
-				}
-			}
-			if len(n.commitWait) > 0 {
-				return // wait for ancestors to be inserted
-			}
-		}
-		// Indirect commits: walk back through skipped leader slots.
-		chain := []types.Position{lc.pos}
-		cur := lc.pos
-		var start uint64
-		if n.haveOrdered {
-			start = n.lastOrderedSeq + 1
-		}
-		if lc.seq > 0 {
-			for ss := lc.seq - 1; ; ss-- {
-				if ss < start {
-					break
-				}
-				prevLeader := n.slotPos(ss)
-				if n.dag.Has(prevLeader) && n.dag.StrongPath(cur, prevLeader) {
-					chain = append(chain, prevLeader)
-					cur = prevLeader
-				}
-				if ss == 0 {
-					break
-				}
-			}
-		}
-		// Order oldest first.
-		for i := len(chain) - 1; i >= 0; i-- {
-			lp := chain[i]
-			direct := lc.direct && lp == lc.pos
-			if !direct {
-				n.Metrics.IndirectCommits++
-			}
-			for _, v := range n.dag.OrderCausalHistory(lp) {
-				n.outQueue = append(n.outQueue, CommittedVertex{
-					Vertex:      v,
-					LeaderRound: lp.Round,
-					Direct:      direct,
-				})
-				n.Metrics.VerticesOrdered++
-			}
-		}
-		n.lastOrderedSeq = lc.seq
-		n.haveOrdered = true
-		n.Metrics.LastOrderedRound = lc.pos.Round
-		n.pendingLeaders = n.pendingLeaders[1:]
-		n.gc()
-	}
-	n.drainOut()
-}
-
-// drainOut emits ordered vertices in sequence, holding at any vertex whose
-// block this party needs but has not yet received (commit runs ahead of
-// block download; execution order is preserved).
-func (n *Node) drainOut() {
-	for len(n.outQueue) > 0 {
-		cv := n.outQueue[0]
-		v := cv.Vertex
-		var blk *types.Block
-		if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.selfClan && n.selfClan != types.NoClan {
-			b, ok := n.blocks[v.BlockDigest]
-			if !ok {
-				if in := n.instIfAny(v.Pos()); in != nil {
-					n.maybeStartBlockPull(v.Pos(), in)
-				}
-				return
-			}
-			blk = b
-		}
-		cv.Block = blk
-		if blk != nil {
-			n.Metrics.TxsOrdered += blk.TxCount()
-		}
-		n.outQueue = n.outQueue[1:]
-		if n.cfg.Deliver != nil {
-			n.cfg.Deliver(cv)
-		}
-	}
-}
-
-// gc advances the garbage-collection horizon behind the last ordered leader.
-func (n *Node) gc() {
-	lastRound := types.Round(n.lastOrderedSeq / uint64(n.cfg.LeadersPerRound))
-	if lastRound < types.Round(n.cfg.GCDepth) {
-		return
-	}
-	horizon := lastRound - types.Round(n.cfg.GCDepth)
-	if horizon <= n.dag.MinRound() {
-		return
-	}
-	n.dag.GC(horizon)
-	for r, row := range n.insts {
-		if r >= horizon {
-			continue
-		}
-		for _, in := range row {
-			if in == nil {
-				continue
-			}
-			if in.blockPull != nil {
-				in.blockPull.Stop()
-			}
-			if in.vtxPull != nil {
-				in.vtxPull.Stop()
-			}
-			if in.vertex != nil {
-				delete(n.blocks, in.vertex.BlockDigest)
-			}
-		}
-		delete(n.insts, r)
-	}
-	for lp := range n.votes {
-		if lp.Round < horizon {
-			delete(n.votes, lp)
-		}
-	}
-	for lp := range n.committedDirect {
-		if lp.Round < horizon {
-			delete(n.committedDirect, lp)
-		}
-	}
-	for r := range n.tcs {
-		if r < horizon {
-			delete(n.tcs, r)
-		}
-	}
-	for r := range n.nvcs {
-		if r < horizon {
-			delete(n.nvcs, r)
-		}
-	}
-	for r := range n.timeoutAggs {
-		if r < horizon {
-			delete(n.timeoutAggs, r)
-		}
-	}
-	for r := range n.novoteAggs {
-		if r < horizon {
-			delete(n.novoteAggs, r)
-		}
-	}
-	for r := range n.timedOutRound {
-		if r < horizon {
-			delete(n.timedOutRound, r)
-		}
-	}
-	for pos := range n.pendingInsert {
-		if pos.Round < horizon {
-			delete(n.pendingInsert, pos)
-		}
-	}
-	for pos := range n.echoWait {
-		if pos.Round < horizon {
-			delete(n.echoWait, pos)
-		}
-	}
-	for pos := range n.waitingChild {
-		if pos.Round < horizon {
-			delete(n.waitingChild, pos)
-		}
-	}
-	for pos := range n.lateVertices {
-		if pos.Round < horizon {
-			delete(n.lateVertices, pos)
-		}
-	}
-	for r := range n.deliveredByRound {
-		if r < horizon {
-			delete(n.deliveredByRound, r)
-			delete(n.leaderDelivered, r)
 		}
 	}
 }

@@ -411,11 +411,11 @@ func TestGCBoundsState(t *testing.T) {
 		t.Fatal("GC never advanced")
 	}
 	maxState := (node.cfg.GCDepth + int(node.Round()-node.dag.MinRound()) + 8) * n
-	if len(node.insts) > maxState {
-		t.Fatalf("instance state grew to %d (bound %d)", len(node.insts), maxState)
+	if len(node.rbc.insts) > maxState {
+		t.Fatalf("instance state grew to %d (bound %d)", len(node.rbc.insts), maxState)
 	}
-	if len(node.blocks) > maxState {
-		t.Fatalf("block cache grew to %d", len(node.blocks))
+	if len(node.rbc.blocks) > maxState {
+		t.Fatalf("block cache grew to %d", len(node.rbc.blocks))
 	}
 }
 
@@ -506,7 +506,7 @@ func TestFloodFarFutureIgnored(t *testing.T) {
 	c := newTCluster(t, n, topt{mode: ModeBaseline, uniform: true, txCount: 1})
 	c.net.Run(500 * time.Millisecond)
 	before := 0
-	for _, row := range c.nodes[0].insts {
+	for _, row := range c.nodes[0].rbc.insts {
 		for _, in := range row {
 			if in != nil {
 				before++
@@ -522,7 +522,7 @@ func TestFloodFarFutureIgnored(t *testing.T) {
 	}
 	c.net.Run(500 * time.Millisecond)
 	after := 0
-	for _, row := range c.nodes[0].insts {
+	for _, row := range c.nodes[0].rbc.insts {
 		for _, in := range row {
 			if in != nil {
 				after++
@@ -532,6 +532,74 @@ func TestFloodFarFutureIgnored(t *testing.T) {
 	// Growth bounded by legitimate round progress, not the flood.
 	if after > before+8*n {
 		t.Fatalf("instance state grew %d -> %d under far-future flood", before, after)
+	}
+}
+
+// TestFloodFarFutureViewStateBounded: satellite check for the vinst/view map
+// retention audit. Validly signed timeouts and no-votes (and garbage TCs)
+// for rounds far beyond the tracking window must not grow the round-keyed
+// view maps — without the gcdRound upper bound one Byzantine voter could
+// allocate an N-sized aggregator per flooded round.
+func TestFloodFarFutureViewStateBounded(t *testing.T) {
+	n := 4
+	c := newTCluster(t, n, topt{mode: ModeBaseline, uniform: true, txCount: 1})
+	c.net.Run(500 * time.Millisecond)
+	ep := c.net.Endpoint(1)
+	for i := 0; i < 200; i++ {
+		r := types.Round(10000 + i*37)
+		ep.Send(0, &types.TimeoutMsg{TO: types.Timeout{
+			Round: r, Voter: 1, Sig: crypto.Sign(&c.keys[1], timeoutCtx(r)),
+		}})
+		ep.Send(0, &types.NoVoteMsg{NV: types.NoVote{
+			Round: r, Voter: 1, Sig: crypto.Sign(&c.keys[1], novoteCtx(r)),
+		}})
+		ep.Send(0, &types.TCMsg{TC: types.TimeoutCert{Round: r}})
+	}
+	c.net.Run(500 * time.Millisecond)
+	node := c.nodes[0]
+	bound := 4*node.cfg.GCDepth + 8 // the tracking window, with slack
+	if got := len(node.timeoutAggs); got > bound {
+		t.Fatalf("timeoutAggs grew to %d (bound %d) under far-future flood", got, bound)
+	}
+	if got := len(node.novoteAggs); got > bound {
+		t.Fatalf("novoteAggs grew to %d (bound %d) under far-future flood", got, bound)
+	}
+	if got := len(node.tcs); got > bound {
+		t.Fatalf("tcs grew to %d (bound %d) under far-future flood", got, bound)
+	}
+	if got := len(node.nvcs); got > bound {
+		t.Fatalf("nvcs grew to %d (bound %d) under far-future flood", got, bound)
+	}
+}
+
+// TestEchoDigestFloodBounded: one Byzantine voter minting a fresh digest per
+// echo at a single position must be counted once — the per-position voter
+// bitmap caps the tally map (each entry carries an N-sized aggregator) at
+// one entry per distinct first-seen digest per voter.
+func TestEchoDigestFloodBounded(t *testing.T) {
+	n := 4
+	c := newTCluster(t, n, topt{mode: ModeBaseline, uniform: true, txCount: 1})
+	c.net.Run(500 * time.Millisecond)
+	node := c.nodes[0]
+	pos := types.Position{Round: node.Round() + 2, Source: 3}
+	ep := c.net.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		var d types.Hash
+		d[0], d[1] = byte(i), byte(i>>8)
+		ep.Send(0, &types.VoteMsg{
+			K: types.KindEcho, Pos: pos, Digest: d, Voter: 1,
+			Sig: crypto.Sign(&c.keys[1], echoCtx(pos, d)),
+		})
+	}
+	c.net.Run(200 * time.Millisecond)
+	in := c.nodes[0].instIfAny(pos)
+	if in == nil {
+		t.Fatal("flooded position has no instance")
+	}
+	// Voter 1's flood contributes at most one tally; honest echoes for the
+	// real digest may add one more.
+	if got := len(in.echoes); got > 2 {
+		t.Fatalf("echo tally map grew to %d digests under one-voter flood", got)
 	}
 }
 

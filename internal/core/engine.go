@@ -2,10 +2,15 @@ package core
 
 import (
 	"encoding/binary"
+	"time"
 
-	"clanbft/internal/crypto"
 	"clanbft/internal/types"
 )
+
+// This file is the pipeline's front door: signing domain contexts, engine
+// lifecycle (Start/Stop), and the intake dispatcher that routes verified
+// messages from the transport's serialized mailbox into the RBC stage
+// (stage_rbc.go) and the view layer (consensus.go).
 
 // Signing contexts. Every signed artifact binds a domain tag so signatures
 // cannot be replayed across message types.
@@ -71,19 +76,21 @@ func (n *Node) Start() {
 
 // Stop tears the engine down mid-run (crash simulation, harness shutdown):
 // it cancels the round timer and every pending pull timer and marks the node
-// stopped, so late timer fires and inbound messages become no-ops. The
-// endpoint and store stay open — they belong to the caller, who typically
-// closes the store next and later rebuilds a fresh Node (recovery) on the
-// same endpoint. Safe to call more than once.
+// stopped, so late timer fires and inbound messages become no-ops; then it
+// terminates the async execution stage (if any), waiting for an in-flight
+// Deliver to return but abandoning queued-undelivered vertices (crash
+// semantics — recovery re-emits the order from the store). The endpoint and
+// store stay open — they belong to the caller, who typically closes the
+// store next and later rebuilds a fresh Node (recovery) on the same
+// endpoint. Safe to call more than once.
 func (n *Node) Stop() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.stopped = true
 	if n.roundTimer != nil {
 		n.roundTimer.Stop()
 		n.roundTimer = nil
 	}
-	for _, row := range n.insts {
+	for _, row := range n.rbc.insts {
 		for _, in := range row {
 			if in == nil {
 				continue
@@ -98,13 +105,26 @@ func (n *Node) Stop() {
 			}
 		}
 	}
+	n.mu.Unlock()
+	// Outside mu: the executor goroutine's Deliver callback may call node
+	// accessors that take the lock.
+	if n.exec != nil {
+		n.exec.stop()
+	}
 }
 
 // handle dispatches inbound messages. It runs in the endpoint's serialized
-// context.
+// context. The intake.latency histogram observes per-message handler
+// occupancy — wall time, including the wait for the node lock — which is
+// the serialized path the exec stage exists to keep short.
 func (n *Node) handle(from types.NodeID, m types.Message) {
+	start := time.Now()
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	defer func() {
+		n.mu.Unlock()
+		n.mIntakeMsgs.Inc()
+		n.mIntakeLat.Observe(time.Since(start))
+	}()
 	if n.stopped {
 		return
 	}
@@ -136,563 +156,4 @@ func (n *Node) handle(from types.NodeID, m types.Message) {
 			n.cfg.OnUnhandled(from, m)
 		}
 	}
-}
-
-func (n *Node) inst(pos types.Position) *vinst {
-	row, ok := n.insts[pos.Round]
-	if !ok {
-		row = make([]*vinst, n.cfg.N)
-		n.insts[pos.Round] = row
-	}
-	in := row[pos.Source]
-	if in == nil {
-		in = &vinst{echoes: map[types.Hash]*echoTally{}}
-		row[pos.Source] = in
-	}
-	return in
-}
-
-// instIfAny returns the instance at pos without creating it.
-func (n *Node) instIfAny(pos types.Position) *vinst {
-	if row, ok := n.insts[pos.Round]; ok && int(pos.Source) < len(row) {
-		return row[pos.Source]
-	}
-	return nil
-}
-
-// gcd reports whether pos is outside the window this party is willing to
-// track: below the GC horizon, or so far ahead of its own round that only a
-// Byzantine flood could have produced it (honest parties are within one
-// network delay of each other after GST).
-func (n *Node) gcd(pos types.Position) bool {
-	if pos.Round < n.dag.MinRound() {
-		return true
-	}
-	return pos.Round > n.round+types.Round(4*n.cfg.GCDepth)
-}
-
-// ---------------------------------------------------------------------------
-// VAL: the merged RBC's first message.
-
-func (n *Node) onVal(from types.NodeID, m *types.ValMsg) {
-	v := m.Vertex
-	if v == nil || from != v.Source || int(v.Source) >= n.cfg.N {
-		return
-	}
-	pos := v.Pos()
-	if n.gcd(pos) {
-		return
-	}
-	in := n.inst(pos)
-	if in.valFrom {
-		return // only the sender's first proposal counts (non-equivocation)
-	}
-	if !n.validateVertex(v) {
-		return
-	}
-	d := v.DigestCached()
-	// The transport's verify pool may have pre-checked the signature (the
-	// mark is set only after a successful Reg.Verify over this exact
-	// context); verify inline otherwise.
-	if n.cfg.Reg.CheckSigs && !m.PreVerified() && !n.cfg.Reg.Verify(v.Source, vertexCtx(d), m.Sig) {
-		return
-	}
-	n.clk.Charge(n.vcosts.EdVerify)
-	in.valFrom = true
-	in.vertex = v
-
-	// The proposal is the implicit vote for the previous round's leader
-	// (Sailfish's 1RBC+1delta commit path: votes are observed on the
-	// FIRST message of the next round's RBC).
-	n.countVote(v)
-
-	// Stash the block if we are entitled to it and it matches.
-	if m.Block != nil {
-		n.acceptBlock(v, m.Block)
-	}
-	n.maybeEcho(pos, in)
-}
-
-// acceptBlock validates and stores a block pushed or pulled for vertex v.
-func (n *Node) acceptBlock(v *types.Vertex, blk *types.Block) {
-	if n.clanOf[n.cfg.Self] == types.NoClan && n.cfg.Mode != ModeBaseline {
-		// Parties outside every clan never store payloads.
-		if n.blockClan(v.Source) != n.selfClan {
-			return
-		}
-	}
-	if n.blockClan(v.Source) != n.selfClan || n.selfClan == types.NoClan {
-		return
-	}
-	if _, ok := n.blocks[v.BlockDigest]; ok {
-		return
-	}
-	n.clk.Charge(n.cfg.Costs.HashCost(blk.PayloadBytes()))
-	if blk.Digest() != v.BlockDigest {
-		return // payload does not match the vertex's commitment
-	}
-	n.blocks[v.BlockDigest] = blk
-	n.Metrics.BlocksReceived++
-	if n.cfg.Store != nil {
-		n.putOwned(blockKey(v.BlockDigest), blk.Marshal(nil))
-	}
-	n.clk.Charge(n.cfg.Costs.StoreWrite)
-	pos := v.Pos()
-	if in := n.instIfAny(pos); in != nil {
-		if in.blockPull != nil {
-			in.blockPull.Stop()
-			in.blockPull = nil
-		}
-		n.maybeEcho(pos, in)
-	}
-	n.drainOut()
-}
-
-// maybeEcho sends this party's ECHO once its preconditions hold: the vertex
-// is present; every vertex it references has been delivered locally (so a
-// certificate can never bind the DAG to a phantom vertex — without this
-// check a Byzantine proposer could reference a nonexistent position and
-// permanently stall ordering once an honest leader reaches its vertex; the
-// paper's implementation performs the same per-parent delivery lookups);
-// and, for clan members of the proposer's clan, the block too (Section 5:
-// "Members of C send an ECHO message only after receiving both v and b").
-func (n *Node) maybeEcho(pos types.Position, in *vinst) {
-	if in.echoSent || in.vertex == nil {
-		return
-	}
-	v := in.vertex
-	if !n.parentsDelivered(pos, v) {
-		return // re-tried when the missing parents deliver
-	}
-	if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.selfClan && n.selfClan != types.NoClan {
-		if _, ok := n.blocks[v.BlockDigest]; !ok {
-			return // wait for the block (push or pull)
-		}
-	}
-	in.echoSent = true
-	in.echoRegistered = false
-	d := v.DigestCached()
-	ctx := echoCtx(pos, d)
-	var sig types.SigBytes
-	if n.cfg.Key != nil {
-		sig = n.cfg.Reg.SignFor(n.cfg.Key, ctx)
-		n.clk.Charge(n.cfg.Costs.EdSign)
-	}
-	n.ep.Broadcast(&types.VoteMsg{K: types.KindEcho, Pos: pos, Digest: d, Voter: n.cfg.Self, Sig: sig})
-}
-
-// ---------------------------------------------------------------------------
-// ECHO and certificates.
-
-// parentsDelivered reports whether every vertex referenced by v has been
-// delivered locally (or fell below the GC horizon). On failure the child is
-// parked in echoWait, keyed by each missing parent, and the missing parents
-// are pulled.
-func (n *Node) parentsDelivered(pos types.Position, v *types.Vertex) bool {
-	ok := true
-	check := func(e types.VertexRef) {
-		p := e.Pos()
-		if p.Round < n.dag.MinRound() {
-			return
-		}
-		pin := n.instIfAny(p)
-		if pin != nil && pin.delivered {
-			return
-		}
-		ok = false
-		if !n.insts2HasWaiter(p, pos) {
-			n.echoWait[p] = append(n.echoWait[p], pos)
-		}
-		if pin == nil {
-			pin = n.inst(p)
-		}
-		if !pin.delivered {
-			// Pull the parent regardless of certificate state: the
-			// responder ships its certificate along with the vertex,
-			// which is what authenticates the pulled data.
-			n.maybeStartVtxPull(p, pin)
-		}
-	}
-	for _, e := range v.StrongEdges {
-		check(e)
-	}
-	for _, e := range v.WeakEdges {
-		check(e)
-	}
-	if !ok {
-		if in := n.instIfAny(pos); in != nil {
-			in.echoRegistered = true
-		}
-	}
-	return ok
-}
-
-// insts2HasWaiter reports whether child already waits on parent (dedup).
-func (n *Node) insts2HasWaiter(parent, child types.Position) bool {
-	for _, c := range n.echoWait[parent] {
-		if c == child {
-			return true
-		}
-	}
-	return false
-}
-
-// echoClan returns the clan whose f_c+1 echo condition applies to pos, or
-// NoClan when no payload is attached.
-func (n *Node) echoClan(pos types.Position, digest types.Hash, in *vinst) types.ClanID {
-	if in.vertex != nil && in.vertex.DigestCached() == digest {
-		if in.vertex.BlockDigest.IsZero() {
-			return types.NoClan
-		}
-		return n.blockClan(in.vertex.Source)
-	}
-	// Without the vertex we cannot tell whether a payload is attached;
-	// demand the clan condition for the proposer's potential clan,
-	// conservatively.
-	return n.blockClan(pos.Source)
-}
-
-func (n *Node) onEcho(from types.NodeID, m *types.VoteMsg) {
-	if from != m.Voter || int(m.Pos.Source) >= n.cfg.N || n.gcd(m.Pos) {
-		return
-	}
-	in := n.inst(m.Pos)
-	if in.hasCert {
-		return // decided; late echoes carry no information
-	}
-	tally, ok := in.echoes[m.Digest]
-	if !ok {
-		tally = &echoTally{agg: crypto.NewAggregator(n.cfg.N)}
-		in.echoes[m.Digest] = tally
-	}
-	if types.BitmapHas(tally.agg.Bitmap(), m.Voter) {
-		return
-	}
-	var tag [32]byte
-	if n.cfg.Reg.CheckSigs {
-		ctx := echoCtx(m.Pos, m.Digest)
-		if !m.PreVerified() && !n.cfg.Reg.Verify(m.Voter, ctx, m.Sig) {
-			return
-		}
-		// The partial tag (aggregation input) is recomputed inline either
-		// way: aggregation is single-threaded, as in the paper.
-		tag = n.cfg.Reg.PartialFor(m.Voter, ctx)
-	}
-	n.clk.Charge(n.vcosts.EdVerify)
-	if err := tally.agg.Add(m.Voter, tag); err != nil {
-		return
-	}
-	n.clk.Charge(n.cfg.Costs.AggFold)
-	tally.total++
-	clan := n.echoClan(m.Pos, m.Digest, in)
-	if clan != types.NoClan && n.inClan[clan][m.Voter] {
-		tally.clanVotes++
-	}
-
-	if tally.total < 2*n.cfg.F+1 {
-		return
-	}
-	if clan != types.NoClan && tally.clanVotes < n.fcOf[clan]+1 {
-		return
-	}
-	// Quorum: >= f_c+1 clan members hold the block, so a missing payload
-	// is now retrievable; start pulling early (before delivery), as the
-	// paper prescribes for keeping execution close behind consensus.
-	n.maybeStartBlockPull(m.Pos, in)
-
-	if in.certSent {
-		return
-	}
-	in.certSent = true
-	cert := &types.EchoCertMsg{Pos: m.Pos, Digest: m.Digest, Agg: tally.agg.Sig()}
-	in.cert = cert
-	n.acceptCert(m.Pos, in, m.Digest)
-	n.ep.Broadcast(cert)
-}
-
-// validCert structurally verifies an echo certificate.
-func (n *Node) validCert(m *types.EchoCertMsg) bool {
-	if types.BitmapCount(m.Agg.Bitmap) < 2*n.cfg.F+1 {
-		return false
-	}
-	members := types.BitmapMembers(m.Agg.Bitmap)
-	for _, id := range members {
-		if int(id) >= n.cfg.N {
-			return false
-		}
-	}
-	// Clan condition: conservatively required whenever the proposer is a
-	// block proposer (an empty vertex from a clan member also trivially
-	// satisfies it, since the whole quorum plus clan honest majority
-	// overlap — checked against the vertex when we have it).
-	in := n.instIfAny(m.Pos)
-	clan := types.NoClan
-	if in != nil && in.vertex != nil && in.vertex.DigestCached() == m.Digest {
-		if !in.vertex.BlockDigest.IsZero() {
-			clan = n.blockClan(in.vertex.Source)
-		}
-	} else {
-		clan = n.blockClan(m.Pos.Source)
-	}
-	if clan != types.NoClan {
-		cnt := 0
-		for _, id := range members {
-			if n.inClan[clan][id] {
-				cnt++
-			}
-		}
-		if cnt < n.fcOf[clan]+1 {
-			return false
-		}
-	}
-	if n.cfg.Reg.CheckSigs && !m.PreVerified() && !n.cfg.Reg.VerifyAgg(echoCtx(m.Pos, m.Digest), m.Agg) {
-		return false
-	}
-	n.clk.Charge(n.vcosts.AggVerify)
-	return true
-}
-
-func (n *Node) onCert(from types.NodeID, m *types.EchoCertMsg) {
-	if int(m.Pos.Source) >= n.cfg.N || n.gcd(m.Pos) {
-		return
-	}
-	in := n.inst(m.Pos)
-	if in.hasCert {
-		return
-	}
-	if !n.validCert(m) {
-		return
-	}
-	in.cert = m
-	if !in.certSent {
-		// Forward once so every party obtains the certificate even if
-		// its original assembler was faulty (totality).
-		in.certSent = true
-		n.ep.Broadcast(m)
-	}
-	n.acceptCert(m.Pos, in, m.Digest)
-}
-
-// acceptCert finalizes the RBC's digest decision for pos and tries to
-// deliver.
-func (n *Node) acceptCert(pos types.Position, in *vinst, digest types.Hash) {
-	if in.hasCert {
-		return
-	}
-	in.hasCert = true
-	in.certDigest = digest
-	in.echoes = nil // the certificate supersedes individual votes
-	if in.vertex != nil && in.vertex.DigestCached() != digest {
-		// The sender equivocated and the quorum certified the other
-		// proposal; ours is garbage. Fetch the certified one.
-		in.vertex = nil
-	}
-	// The certificate proves >= f_c+1 honest clan members hold the block:
-	// safe to start pulling if we still need it.
-	n.maybeStartBlockPull(pos, in)
-	n.maybeDeliver(pos, in)
-}
-
-// maybeDeliver completes the merged RBC for pos: vertex present and matching
-// the certified digest. Blocks are NOT required — the protocol advances on
-// certificates and downloads payloads off the critical path (Section 5).
-func (n *Node) maybeDeliver(pos types.Position, in *vinst) {
-	if in.delivered || !in.hasCert {
-		return
-	}
-	if in.vertex == nil || in.vertex.DigestCached() != in.certDigest {
-		n.maybeStartVtxPull(pos, in)
-		return
-	}
-	in.delivered = true
-	if in.vtxPull != nil {
-		in.vtxPull.Stop()
-		in.vtxPull = nil
-	}
-	n.Metrics.VerticesDelivered++
-	// Children whose echoes waited on this parent can proceed now.
-	if kids := n.echoWait[pos]; len(kids) > 0 {
-		delete(n.echoWait, pos)
-		for _, kid := range kids {
-			if kin := n.instIfAny(kid); kin != nil {
-				kin.echoRegistered = false
-				n.maybeEcho(kid, kin)
-			}
-		}
-	}
-	v := in.vertex
-	n.deliveredByRound[v.Round] = append(n.deliveredByRound[v.Round], v)
-	if v.Source == n.leader(v.Round) {
-		n.leaderDelivered[v.Round] = true
-	}
-	if v.Round > n.maxQuorumRound && n.leaderDelivered[v.Round] &&
-		len(n.deliveredByRound[v.Round]) >= 2*n.cfg.F+1 {
-		n.maxQuorumRound = v.Round
-	}
-	n.onDelivered(v)
-}
-
-// ---------------------------------------------------------------------------
-// Pull paths.
-
-// maybeStartBlockPull requests the block for pos's vertex if this party
-// needs it and lacks it.
-func (n *Node) maybeStartBlockPull(pos types.Position, in *vinst) {
-	if in.blockPull != nil || in.vertex == nil {
-		return
-	}
-	v := in.vertex
-	if v.BlockDigest.IsZero() || n.blockClan(v.Source) != n.selfClan || n.selfClan == types.NoClan {
-		return
-	}
-	if _, ok := n.blocks[v.BlockDigest]; ok {
-		return
-	}
-	n.sendBlockPull(pos, in)
-}
-
-func (n *Node) sendBlockPull(pos types.Position, in *vinst) {
-	v := in.vertex
-	if v == nil {
-		in.blockPull = nil
-		return
-	}
-	if _, ok := n.blocks[v.BlockDigest]; ok {
-		in.blockPull = nil
-		return
-	}
-	clan := n.clans[n.selfClan]
-	// Rotate over clan peers.
-	var target types.NodeID = n.cfg.Self
-	for i := 0; i < len(clan); i++ {
-		cand := clan[in.pullCursor%len(clan)]
-		in.pullCursor++
-		if cand != n.cfg.Self {
-			target = cand
-			break
-		}
-	}
-	if target == n.cfg.Self {
-		return
-	}
-	n.ep.Send(target, &types.BlockReqMsg{Pos: pos, Digest: v.BlockDigest})
-	in.blockPull = n.clk.After(n.cfg.PullRetry, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if n.stopped {
-			return
-		}
-		in.blockPull = nil
-		n.sendBlockPull(pos, in)
-	})
-}
-
-func (n *Node) onBlockReq(from types.NodeID, m *types.BlockReqMsg) {
-	blk, ok := n.blocks[m.Digest]
-	if !ok {
-		return
-	}
-	n.clk.Charge(n.cfg.Costs.StoreRead)
-	n.ep.Send(from, &types.BlockRspMsg{Block: blk})
-}
-
-func (n *Node) onBlockRsp(from types.NodeID, m *types.BlockRspMsg) {
-	if m.Block == nil {
-		return
-	}
-	pos := types.Position{Round: m.Block.Round, Source: m.Block.Source}
-	if n.gcd(pos) {
-		return
-	}
-	in := n.instIfAny(pos)
-	if in == nil || in.vertex == nil {
-		return
-	}
-	n.acceptBlock(in.vertex, m.Block)
-}
-
-// maybeStartVtxPull fetches a missing (or equivocation-replaced) vertex once
-// its certificate is known.
-func (n *Node) maybeStartVtxPull(pos types.Position, in *vinst) {
-	if in.vtxPull != nil || in.delivered {
-		return
-	}
-	n.sendVtxPull(pos, in)
-}
-
-func (n *Node) sendVtxPull(pos types.Position, in *vinst) {
-	if in.delivered {
-		in.vtxPull = nil
-		return
-	}
-	// Rotate over the whole tribe (anyone who echoed may hold it).
-	var target types.NodeID
-	for {
-		target = types.NodeID(in.pullCursor % n.cfg.N)
-		in.pullCursor++
-		if target != n.cfg.Self {
-			break
-		}
-	}
-	n.ep.Send(target, &types.VtxReqMsg{Pos: pos})
-	in.vtxPull = n.clk.After(n.cfg.PullRetry, func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if n.stopped {
-			return
-		}
-		in.vtxPull = nil
-		n.sendVtxPull(pos, in)
-	})
-}
-
-func (n *Node) onVtxReq(from types.NodeID, m *types.VtxReqMsg) {
-	in := n.instIfAny(m.Pos)
-	if in == nil || in.vertex == nil {
-		return
-	}
-	// Ship the certificate first: the requester can only accept a pulled
-	// vertex that a certificate pins (and a certificate alone lets it
-	// count the delivery once the vertex follows).
-	if in.cert != nil {
-		n.ep.Send(from, in.cert)
-	}
-	rsp := &types.VtxRspMsg{Vertex: in.vertex}
-	v := in.vertex
-	if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.clanOf[from] {
-		if blk, ok := n.blocks[v.BlockDigest]; ok {
-			rsp.Block = blk
-			n.clk.Charge(n.cfg.Costs.StoreRead)
-		}
-	}
-	n.ep.Send(from, rsp)
-}
-
-func (n *Node) onVtxRsp(from types.NodeID, m *types.VtxRspMsg) {
-	v := m.Vertex
-	if v == nil || int(v.Source) >= n.cfg.N {
-		return
-	}
-	pos := v.Pos()
-	if n.gcd(pos) {
-		return
-	}
-	in := n.instIfAny(pos)
-	if in == nil || in.delivered {
-		return
-	}
-	if in.vertex == nil {
-		// Accept only a vertex pinned by the certificate (the cert is
-		// the proof of uniqueness; a signature check would be redundant
-		// but the structure must still be sound).
-		if !in.hasCert || v.DigestCached() != in.certDigest || !n.validateVertex(v) {
-			return
-		}
-		in.vertex = v
-		n.countVote(v)
-	}
-	if m.Block != nil {
-		n.acceptBlock(in.vertex, m.Block)
-	}
-	n.maybeDeliver(pos, in)
 }

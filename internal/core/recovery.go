@@ -82,7 +82,7 @@ func (n *Node) recoverFromStore() bool {
 		var d types.Hash
 		if len(key) == 2+32 {
 			copy(d[:], key[2:])
-			n.blocks[d] = blk
+			n.rbc.blocks[d] = blk
 		}
 		return true
 	})
@@ -114,9 +114,9 @@ func (n *Node) recoverFromStore() bool {
 		in.hasCert = true // persisted only after RBC delivery
 		in.certDigest = v.DigestCached()
 		in.delivered = true
-		n.deliveredByRound[v.Round] = append(n.deliveredByRound[v.Round], v)
+		n.ord.deliveredByRound[v.Round] = append(n.ord.deliveredByRound[v.Round], v)
 		if v.Source == n.leader(v.Round) {
-			n.leaderDelivered[v.Round] = true
+			n.ord.leaderDelivered[v.Round] = true
 		}
 		n.dag.Insert(v)
 		// Votes re-derived from recovered proposals keep the commit rule
@@ -131,7 +131,7 @@ func (n *Node) recoverFromStore() bool {
 	// as vertices are replayed) and may have parked ancestors in
 	// commitWait; those inserts bypassed insertNow, so reset the wait set
 	// and let Start's drainCommits re-derive it against the full DAG.
-	clear(n.commitWait)
+	clear(n.ord.commitWait)
 	return proposed || len(verts) > 0
 }
 

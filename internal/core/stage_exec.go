@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"clanbft/internal/metrics"
+	"clanbft/internal/types"
+)
+
+// Stage 4 of the commit pipeline: execution/commit. The ordering stage emits
+// a deterministic sequence of CommittedVertex values; this stage runs the
+// application's Deliver callback over them.
+//
+// Two wirings, selected by Config.ExecQueue:
+//
+//   - ExecQueue == 0: emitCommitted invokes Deliver inline on the serialized
+//     handler (the node's exec field is nil). Single-threaded tests and the
+//     discrete-event simulator default to this — results are visible the
+//     moment the handler returns.
+//   - ExecQueue > 0: emitCommitted hands the vertex to execStage, which runs
+//     Deliver on its own goroutine. The handoff NEVER blocks the handler:
+//     a bounded channel provides the fast path, and when it is full the
+//     vertex spills to an unbounded staging list (counted by
+//     exec.backpressure) that refills the channel as the executor drains.
+//     Commit order is preserved exactly; only timing decouples. Crucially
+//     the producer side takes no clock-dependent action, so under the
+//     discrete-event simulator the message schedule — and therefore the
+//     committed sequence — is identical whether the stage is sync or async.
+//
+// The stage is the only part of the node that runs application code, so it
+// measures with real wall time (time.Now), never the node's virtual clock —
+// the virtual clock is owned by the simulator goroutine and must not be read
+// from here (use CommittedVertex.OrderedAt for protocol-time measurements).
+
+type execItem struct {
+	cv  CommittedVertex
+	enq time.Time
+}
+
+// execStage runs Deliver on a dedicated goroutine behind a bounded channel.
+type execStage struct {
+	deliver func(CommittedVertex)
+	ch      chan execItem
+
+	mu        sync.Mutex
+	idle      sync.Cond
+	overflow  []execItem // spill ring; drained into ch in FIFO order
+	enqueued  uint64
+	completed uint64
+	stopped   bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	depth *metrics.Gauge
+	spill *metrics.Counter
+	done  *metrics.Counter
+	txs   *metrics.Counter
+	lat   *metrics.Histogram
+}
+
+func newExecStage(deliver func(CommittedVertex), queue int, reg *metrics.Registry) *execStage {
+	e := &execStage{
+		deliver: deliver,
+		ch:      make(chan execItem, queue),
+		quit:    make(chan struct{}),
+		depth:   reg.Gauge(types.StageExec.Metric("queue_depth")),
+		spill:   reg.Counter(types.StageExec.Metric("backpressure")),
+		done:    reg.Counter(types.StageExec.Metric("committed")),
+		txs:     reg.Counter(types.StageExec.Metric("txs")),
+		lat:     reg.Histogram(types.StageExec.Metric("latency")),
+	}
+	e.idle.L = &e.mu
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// push hands a committed vertex to the executor. It never blocks and never
+// touches any clock the caller's scheduler depends on — the backpressure
+// contract the ordering stage relies on.
+func (e *execStage) push(cv CommittedVertex) {
+	it := execItem{cv: cv, enq: time.Now()}
+	e.mu.Lock()
+	e.enqueued++
+	e.depth.Set(int64(e.enqueued - e.completed))
+	if len(e.overflow) == 0 {
+		select {
+		case e.ch <- it:
+			e.mu.Unlock()
+			return
+		default:
+		}
+	}
+	e.overflow = append(e.overflow, it)
+	e.spill.Inc()
+	e.mu.Unlock()
+}
+
+func (e *execStage) loop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case it := <-e.ch:
+			e.run(it)
+		}
+	}
+}
+
+func (e *execStage) run(it execItem) {
+	if e.deliver != nil {
+		e.deliver(it.cv)
+	}
+	e.lat.Observe(time.Since(it.enq))
+	e.done.Inc()
+	if it.cv.Block != nil {
+		e.txs.Add(uint64(it.cv.Block.TxCount()))
+	}
+	e.mu.Lock()
+	e.completed++
+	e.depth.Set(int64(e.enqueued - e.completed))
+	// Refill the channel from the spill list, preserving FIFO order.
+	for len(e.overflow) > 0 {
+		select {
+		case e.ch <- e.overflow[0]:
+			e.overflow[0] = execItem{}
+			e.overflow = e.overflow[1:]
+		default:
+			e.mu.Unlock()
+			return
+		}
+	}
+	if e.completed == e.enqueued {
+		e.idle.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// flush blocks until every pushed vertex has been delivered, or the stage
+// has been stopped (crash semantics: undelivered entries are abandoned —
+// recovery re-emits the order from the store).
+func (e *execStage) flush() {
+	e.mu.Lock()
+	for !e.stopped && e.completed != e.enqueued {
+		e.idle.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// stop terminates the executor goroutine after its in-flight Deliver (if
+// any) returns. Queued-but-undelivered vertices are dropped.
+func (e *execStage) stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	close(e.quit)
+	e.idle.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// emitCommitted is the ordering stage's handoff into execution. It runs in
+// the serialized handler context.
+func (n *Node) emitCommitted(cv CommittedVertex) {
+	if n.exec != nil {
+		n.exec.push(cv)
+		return
+	}
+	start := time.Now()
+	if n.cfg.Deliver != nil {
+		n.cfg.Deliver(cv)
+	}
+	n.mExecLat.Observe(time.Since(start))
+	n.mExecDone.Inc()
+	if cv.Block != nil {
+		n.mExecTxs.Add(uint64(cv.Block.TxCount()))
+	}
+}
+
+// Flush blocks until the execution stage has delivered every vertex ordered
+// so far (no-op in synchronous mode or after Stop). Call it before reading
+// state produced by Deliver callbacks when ExecQueue > 0.
+func (n *Node) Flush() {
+	if n.exec != nil {
+		n.exec.flush()
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"clanbft/internal/types"
+)
+
+// Stage 3 of the commit pipeline: DAG insertion, the Sailfish leader commit
+// rule, and deterministic total ordering. This file owns everything between
+// an RBC-delivered vertex (onDelivered, called by stage_rbc.go) and a
+// CommittedVertex handed to the execution stage (emitCommitted,
+// stage_exec.go).
+
+// orderState is the ordering stage's state, owned by the serialized handler.
+type orderState struct {
+	// Per-round delivery tracking (round quorum + leader arrival).
+	deliveredByRound map[types.Round][]*types.Vertex
+	leaderDelivered  map[types.Round]bool
+
+	// Vote tracking for the leader commit rule: votes[lp] = sources of
+	// round lp.Round+1 proposals with a strong edge to leader vertex lp.
+	votes           map[types.Position]map[types.NodeID]bool
+	committedDirect map[types.Position]bool
+	// lastOrderedSeq is the highest leader slot (round*L + idx) already
+	// enqueued for ordering.
+	lastOrderedSeq uint64
+	haveOrdered    bool
+
+	// Deferred work.
+	pendingInsert  map[types.Position]*types.Vertex // delivered, awaiting parents
+	waitingChild   map[types.Position][]types.Position
+	pendingLeaders []leaderCommit          // committed, awaiting complete history
+	commitWait     map[types.Position]bool // ancestors the head commit waits for
+	outQueue       []CommittedVertex       // ordered, awaiting blocks
+	outQueuedAt    []time.Duration         // clock reading at outQueue append
+	// lateVertices collects vertices that missed strong-edge inclusion and
+	// must be weak-edged by the next proposal (guarantees BAB validity).
+	lateVertices map[types.Position]*types.Vertex
+}
+
+// onDelivered runs when the merged RBC completes for a vertex: insert into
+// the DAG (or buffer until parents arrive), track late vertices, advance
+// rounds, retry commits.
+func (n *Node) onDelivered(v *types.Vertex) {
+	n.tryInsert(v)
+	// NOTE: the round timer is deliberately NOT cancelled when the leader
+	// vertex arrives — it doubles as the stuck-round probe that keeps
+	// pulling missing vertices and re-broadcasting timeout state until
+	// the round actually advances (propose() disarms it). Timeout votes
+	// themselves stay gated on the leader's absence.
+	// A vote quorum may have formed before the leader vertex arrived.
+	if n.leaderIdx(v.Pos()) >= 0 {
+		n.checkCommit(v.Pos())
+	}
+	n.tryAdvance()
+}
+
+// tryInsert adds v to the DAG once all parents are present; otherwise it
+// buffers v and retries when parents land.
+func (n *Node) tryInsert(v *types.Vertex) {
+	pos := v.Pos()
+	if n.dag.Has(pos) || n.gcd(pos) {
+		return
+	}
+	missing := n.missingParents(v)
+	if len(missing) > 0 {
+		n.ord.pendingInsert[pos] = v
+		for _, p := range missing {
+			n.ord.waitingChild[p] = append(n.ord.waitingChild[p], pos)
+			// A parent that was never pushed to us must be pulled:
+			// its RBC may have completed at others while our VAL
+			// was lost pre-GST.
+			if in := n.inst(p); !in.delivered {
+				n.maybeStartVtxPull(p, in)
+			}
+		}
+		return
+	}
+	n.insertNow(v)
+}
+
+func (n *Node) missingParents(v *types.Vertex) []types.Position {
+	var missing []types.Position
+	check := func(e types.VertexRef) {
+		p := e.Pos()
+		if p.Round < n.dag.MinRound() || n.dag.Has(p) {
+			return
+		}
+		missing = append(missing, p)
+	}
+	for _, e := range v.StrongEdges {
+		check(e)
+	}
+	for _, e := range v.WeakEdges {
+		check(e)
+	}
+	return missing
+}
+
+func (n *Node) insertNow(v *types.Vertex) {
+	pos := v.Pos()
+	// Parent-presence reads against the store (the paper observes these
+	// lookups contribute to latency at n=150).
+	n.clk.Charge(time.Duration(len(v.StrongEdges)+len(v.WeakEdges)) * n.cfg.Costs.StoreRead)
+	if err := n.dag.Insert(v); err != nil {
+		return // equivocation cannot reach here through RBC; drop defensively
+	}
+	if n.cfg.Store != nil {
+		var key [2 + 8 + 2]byte
+		key[0], key[1] = 'v', '/'
+		binaryPutPos(key[2:], pos)
+		n.putOwned(key[:], v.Marshal(nil))
+	}
+	n.clk.Charge(n.cfg.Costs.StoreWrite)
+	delete(n.ord.pendingInsert, pos)
+
+	// Vertices that already missed strong-edge inclusion get weak edges in
+	// our next proposal so they are eventually ordered (BAB validity).
+	if v.Round+1 <= n.round {
+		n.ord.lateVertices[pos] = v
+	}
+
+	// Unblock buffered children.
+	if kids := n.ord.waitingChild[pos]; len(kids) > 0 {
+		delete(n.ord.waitingChild, pos)
+		for _, kid := range kids {
+			if pend, ok := n.ord.pendingInsert[kid]; ok && len(n.missingParents(pend)) == 0 {
+				n.insertNow(pend)
+			}
+		}
+	}
+	// Newly present ancestors may complete a committed leader's history.
+	if len(n.ord.commitWait) > 0 {
+		if n.ord.commitWait[pos] {
+			delete(n.ord.commitWait, pos)
+			if len(n.ord.commitWait) == 0 {
+				n.drainCommits()
+			}
+		}
+		return
+	}
+	n.drainCommits()
+}
+
+func binaryPutPos(b []byte, pos types.Position) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(pos.Round >> (8 * (7 - i)))
+	}
+	b[8] = byte(pos.Source >> 8)
+	b[9] = byte(pos.Source)
+}
+
+// ---------------------------------------------------------------------------
+// Commit rule and total ordering.
+
+// countVote records the implicit votes a round r+1 proposal casts for round
+// r's leader vertices via its strong edges (all LeadersPerRound of them).
+func (n *Node) countVote(v *types.Vertex) {
+	if v.Round == 0 {
+		return
+	}
+	prev := v.Round - 1
+	for k := 0; k < n.cfg.LeadersPerRound; k++ {
+		lp := types.Position{Round: prev, Source: n.leaderAt(prev, k)}
+		if !v.HasStrongEdgeTo(lp) {
+			continue
+		}
+		set, ok := n.ord.votes[lp]
+		if !ok {
+			set = map[types.NodeID]bool{}
+			n.ord.votes[lp] = set
+		}
+		set[v.Source] = true
+		n.checkCommit(lp)
+	}
+}
+
+// checkCommit applies the direct commit rule for a leader vertex: 2f+1
+// next-round proposals with a strong edge to it.
+func (n *Node) checkCommit(lp types.Position) {
+	if n.ord.committedDirect[lp] || len(n.ord.votes[lp]) < 2*n.cfg.F+1 {
+		return
+	}
+	idx := n.leaderIdx(lp)
+	if idx < 0 {
+		return
+	}
+	n.ord.committedDirect[lp] = true
+	n.Metrics.DirectCommits++
+	n.ord.pendingLeaders = append(n.ord.pendingLeaders, leaderCommit{pos: lp, direct: true, seq: n.slotSeq(lp, idx)})
+	sort.Slice(n.ord.pendingLeaders, func(i, j int) bool {
+		return n.ord.pendingLeaders[i].seq < n.ord.pendingLeaders[j].seq
+	})
+	n.drainCommits()
+}
+
+// drainCommits resolves committed leaders into the total order as soon as
+// their causal histories are locally complete, committing skipped leaders
+// indirectly along strong paths. When the head leader's history has gaps,
+// the missing positions are recorded in commitWait and the scan resumes only
+// once they are inserted (avoiding a full-history walk on every insert).
+func (n *Node) drainCommits() {
+	if len(n.ord.commitWait) > 0 {
+		return // still waiting; insertNow re-triggers when satisfied
+	}
+	for len(n.ord.pendingLeaders) > 0 {
+		lc := n.ord.pendingLeaders[0]
+		if n.ord.haveOrdered && lc.seq <= n.ord.lastOrderedSeq {
+			n.ord.pendingLeaders = n.ord.pendingLeaders[1:]
+			continue
+		}
+		if missing := n.dag.MissingAncestors(lc.pos); len(missing) > 0 {
+			for _, p := range missing {
+				if p.Round >= n.dag.MinRound() {
+					n.ord.commitWait[p] = true
+				}
+			}
+			if len(n.ord.commitWait) > 0 {
+				return // wait for ancestors to be inserted
+			}
+		}
+		// Indirect commits: walk back through skipped leader slots.
+		chain := []types.Position{lc.pos}
+		cur := lc.pos
+		var start uint64
+		if n.ord.haveOrdered {
+			start = n.ord.lastOrderedSeq + 1
+		}
+		if lc.seq > 0 {
+			for ss := lc.seq - 1; ; ss-- {
+				if ss < start {
+					break
+				}
+				prevLeader := n.slotPos(ss)
+				if n.dag.Has(prevLeader) && n.dag.StrongPath(cur, prevLeader) {
+					chain = append(chain, prevLeader)
+					cur = prevLeader
+				}
+				if ss == 0 {
+					break
+				}
+			}
+		}
+		// Order oldest first.
+		now := n.clk.Now()
+		for i := len(chain) - 1; i >= 0; i-- {
+			lp := chain[i]
+			direct := lc.direct && lp == lc.pos
+			if !direct {
+				n.Metrics.IndirectCommits++
+			}
+			n.mOrderCommits.Inc()
+			for _, v := range n.dag.OrderCausalHistory(lp) {
+				n.ord.outQueue = append(n.ord.outQueue, CommittedVertex{
+					Vertex:      v,
+					LeaderRound: lp.Round,
+					Direct:      direct,
+				})
+				n.ord.outQueuedAt = append(n.ord.outQueuedAt, now)
+				n.Metrics.VerticesOrdered++
+				n.mOrderVerts.Inc()
+			}
+		}
+		n.ord.lastOrderedSeq = lc.seq
+		n.ord.haveOrdered = true
+		n.Metrics.LastOrderedRound = lc.pos.Round
+		n.ord.pendingLeaders = n.ord.pendingLeaders[1:]
+		n.gc()
+	}
+	n.drainOut()
+}
+
+// drainOut emits ordered vertices in sequence, holding at any vertex whose
+// block this party needs but has not yet received (commit runs ahead of
+// block download; execution order is preserved). Each emitted vertex is
+// stamped with OrderedAt and handed to the execution stage — inline when
+// ExecQueue is 0, via the bounded async handoff otherwise.
+func (n *Node) drainOut() {
+	for len(n.ord.outQueue) > 0 {
+		cv := n.ord.outQueue[0]
+		v := cv.Vertex
+		var blk *types.Block
+		if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.selfClan && n.selfClan != types.NoClan {
+			b, ok := n.rbc.blocks[v.BlockDigest]
+			if !ok {
+				if in := n.instIfAny(v.Pos()); in != nil {
+					n.maybeStartBlockPull(v.Pos(), in)
+				}
+				return
+			}
+			blk = b
+		}
+		cv.Block = blk
+		if blk != nil {
+			n.Metrics.TxsOrdered += blk.TxCount()
+		}
+		now := n.clk.Now()
+		cv.OrderedAt = now
+		n.mOrderLat.Observe(now - n.ord.outQueuedAt[0])
+		n.ord.outQueue = n.ord.outQueue[1:]
+		n.ord.outQueuedAt = n.ord.outQueuedAt[1:]
+		n.emitCommitted(cv)
+	}
+}
+
+// gc advances the garbage-collection horizon behind the last ordered leader,
+// pruning every stage's per-round state: the DAG, the RBC stage (instances,
+// block cache, echo waiters — see gcRBC), ordering state, and view-layer
+// certificates/aggregators. commitWait needs no sweep: drainCommits only
+// populates it while it is empty and the horizon only advances when it is
+// empty again, so nothing in it can be below the horizon.
+func (n *Node) gc() {
+	lastRound := types.Round(n.ord.lastOrderedSeq / uint64(n.cfg.LeadersPerRound))
+	if lastRound < types.Round(n.cfg.GCDepth) {
+		return
+	}
+	horizon := lastRound - types.Round(n.cfg.GCDepth)
+	if horizon <= n.dag.MinRound() {
+		return
+	}
+	n.dag.GC(horizon)
+	n.gcRBC(horizon)
+	for lp := range n.ord.votes {
+		if lp.Round < horizon {
+			delete(n.ord.votes, lp)
+		}
+	}
+	for lp := range n.ord.committedDirect {
+		if lp.Round < horizon {
+			delete(n.ord.committedDirect, lp)
+		}
+	}
+	for r := range n.tcs {
+		if r < horizon {
+			delete(n.tcs, r)
+		}
+	}
+	for r := range n.nvcs {
+		if r < horizon {
+			delete(n.nvcs, r)
+		}
+	}
+	for r := range n.timeoutAggs {
+		if r < horizon {
+			delete(n.timeoutAggs, r)
+		}
+	}
+	for r := range n.novoteAggs {
+		if r < horizon {
+			delete(n.novoteAggs, r)
+		}
+	}
+	for r := range n.timedOutRound {
+		if r < horizon {
+			delete(n.timedOutRound, r)
+		}
+	}
+	for pos := range n.ord.pendingInsert {
+		if pos.Round < horizon {
+			delete(n.ord.pendingInsert, pos)
+		}
+	}
+	for pos := range n.ord.waitingChild {
+		if pos.Round < horizon {
+			delete(n.ord.waitingChild, pos)
+		}
+	}
+	for pos := range n.ord.lateVertices {
+		if pos.Round < horizon {
+			delete(n.ord.lateVertices, pos)
+		}
+	}
+	for r := range n.ord.deliveredByRound {
+		if r < horizon {
+			delete(n.ord.deliveredByRound, r)
+			delete(n.ord.leaderDelivered, r)
+		}
+	}
+}

@@ -1,0 +1,692 @@
+package core
+
+import (
+	"time"
+
+	"clanbft/internal/crypto"
+	"clanbft/internal/transport"
+	"clanbft/internal/types"
+)
+
+// Stage 2 of the commit pipeline: the merged vertex+block RBC state machine.
+// This file owns the per-position instance map (vinst) and everything between
+// a verified inbound message and local delivery — VAL acceptance, ECHO
+// voting, certificate assembly/adoption, and the block/vertex pull paths.
+// Delivered vertices are handed to the ordering stage via onDelivered
+// (stage_order.go).
+
+// rbcState is the RBC stage's state, owned by the serialized handler.
+type rbcState struct {
+	// insts holds RBC instance state, round-sliced: insts[r][source].
+	insts map[types.Round][]*vinst
+	// blocks caches payloads this party is entitled to, keyed by digest.
+	blocks map[types.Hash]*types.Block
+	// echoWait parks children whose echo awaits a parent's delivery:
+	// parent -> children.
+	echoWait map[types.Position][]types.Position
+}
+
+// vinst is the merged vertex+block RBC instance state for one position.
+type vinst struct {
+	vertex   *types.Vertex
+	valFrom  bool // first VAL processed (vote counted, echo considered)
+	block    *types.Block
+	hasBlock bool
+
+	echoSent       bool
+	echoRegistered bool // parked in echoWait until parents deliver
+	certSent       bool
+	echoes         map[types.Hash]*echoTally
+	// echoVoted tracks which voters' echoes were already counted at this
+	// position, across ALL candidate digests. A Byzantine voter gets
+	// exactly one echo per position; without this bound it could mint a
+	// fresh digest per echo and grow `echoes` (each tally carrying an
+	// N-sized aggregator) without limit.
+	echoVoted []byte
+
+	certDigest types.Hash
+	hasCert    bool
+	cert       *types.EchoCertMsg // retained for peer catch-up (VtxReq)
+
+	delivered bool // vertex + cert complete (counts toward round quorum)
+	inserted  bool // in the DAG (or pending parent buffer)
+
+	// born is the local clock when this instance was first touched; the
+	// rbc.latency histogram observes born -> delivered.
+	born time.Duration
+
+	blockPull  transport.Timer
+	vtxPull    transport.Timer
+	pullCursor int
+}
+
+// echoTally folds echo votes for one candidate digest incrementally: the
+// aggregator holds the signer bitmap plus the XOR-folded tag (becoming the
+// certificate when the quorum completes), clanVotes counts voters from the
+// proposer's block clan.
+type echoTally struct {
+	agg       *crypto.Aggregator
+	total     int
+	clanVotes int
+}
+
+func (n *Node) inst(pos types.Position) *vinst {
+	row, ok := n.rbc.insts[pos.Round]
+	if !ok {
+		row = make([]*vinst, n.cfg.N)
+		n.rbc.insts[pos.Round] = row
+	}
+	in := row[pos.Source]
+	if in == nil {
+		in = &vinst{echoes: map[types.Hash]*echoTally{}, born: n.clk.Now()}
+		row[pos.Source] = in
+	}
+	return in
+}
+
+// instIfAny returns the instance at pos without creating it.
+func (n *Node) instIfAny(pos types.Position) *vinst {
+	if row, ok := n.rbc.insts[pos.Round]; ok && int(pos.Source) < len(row) {
+		return row[pos.Source]
+	}
+	return nil
+}
+
+// gcd reports whether pos is outside the window this party is willing to
+// track: below the GC horizon, or so far ahead of its own round that only a
+// Byzantine flood could have produced it (honest parties are within one
+// network delay of each other after GST).
+func (n *Node) gcd(pos types.Position) bool {
+	return n.gcdRound(pos.Round)
+}
+
+// gcdRound is gcd for round-keyed state (timeouts, no-votes, TCs). Both
+// bounds matter for memory safety: without the upper bound a Byzantine
+// flood of far-future rounds would grow the per-round maps without limit.
+func (n *Node) gcdRound(r types.Round) bool {
+	if r < n.dag.MinRound() {
+		return true
+	}
+	return r > n.round+types.Round(4*n.cfg.GCDepth)
+}
+
+// ---------------------------------------------------------------------------
+// VAL: the merged RBC's first message.
+
+func (n *Node) onVal(from types.NodeID, m *types.ValMsg) {
+	v := m.Vertex
+	if v == nil || from != v.Source || int(v.Source) >= n.cfg.N {
+		return
+	}
+	pos := v.Pos()
+	if n.gcd(pos) {
+		return
+	}
+	in := n.inst(pos)
+	if in.valFrom {
+		return // only the sender's first proposal counts (non-equivocation)
+	}
+	if !n.validateVertex(v) {
+		return
+	}
+	d := v.DigestCached()
+	// The transport's verify pool may have pre-checked the signature (the
+	// mark is set only after a successful Reg.Verify over this exact
+	// context); verify inline otherwise.
+	if n.cfg.Reg.CheckSigs && !m.PreVerified() && !n.cfg.Reg.Verify(v.Source, vertexCtx(d), m.Sig) {
+		return
+	}
+	n.clk.Charge(n.vcosts.EdVerify)
+	in.valFrom = true
+	in.vertex = v
+
+	// The proposal is the implicit vote for the previous round's leader
+	// (Sailfish's 1RBC+1delta commit path: votes are observed on the
+	// FIRST message of the next round's RBC).
+	n.countVote(v)
+
+	// Stash the block if we are entitled to it and it matches.
+	if m.Block != nil {
+		n.acceptBlock(v, m.Block)
+	}
+	n.maybeEcho(pos, in)
+}
+
+// acceptBlock validates and stores a block pushed or pulled for vertex v.
+func (n *Node) acceptBlock(v *types.Vertex, blk *types.Block) {
+	if n.clanOf[n.cfg.Self] == types.NoClan && n.cfg.Mode != ModeBaseline {
+		// Parties outside every clan never store payloads.
+		if n.blockClan(v.Source) != n.selfClan {
+			return
+		}
+	}
+	if n.blockClan(v.Source) != n.selfClan || n.selfClan == types.NoClan {
+		return
+	}
+	if blk.Round != v.Round || blk.Source != v.Source {
+		// The digest commits to Round/Source; a mismatch with the vertex
+		// cannot be honest. Rejecting it here also keeps the round-swept
+		// block cache prunable (a block claiming a far-future round would
+		// otherwise pin its memory past the GC horizon).
+		return
+	}
+	if _, ok := n.rbc.blocks[v.BlockDigest]; ok {
+		return
+	}
+	n.clk.Charge(n.cfg.Costs.HashCost(blk.PayloadBytes()))
+	if blk.Digest() != v.BlockDigest {
+		return // payload does not match the vertex's commitment
+	}
+	n.rbc.blocks[v.BlockDigest] = blk
+	n.Metrics.BlocksReceived++
+	if n.cfg.Store != nil {
+		n.putOwned(blockKey(v.BlockDigest), blk.Marshal(nil))
+	}
+	n.clk.Charge(n.cfg.Costs.StoreWrite)
+	pos := v.Pos()
+	if in := n.instIfAny(pos); in != nil {
+		if in.blockPull != nil {
+			in.blockPull.Stop()
+			in.blockPull = nil
+		}
+		n.maybeEcho(pos, in)
+	}
+	n.drainOut()
+}
+
+// maybeEcho sends this party's ECHO once its preconditions hold: the vertex
+// is present; every vertex it references has been delivered locally (so a
+// certificate can never bind the DAG to a phantom vertex — without this
+// check a Byzantine proposer could reference a nonexistent position and
+// permanently stall ordering once an honest leader reaches its vertex; the
+// paper's implementation performs the same per-parent delivery lookups);
+// and, for clan members of the proposer's clan, the block too (Section 5:
+// "Members of C send an ECHO message only after receiving both v and b").
+func (n *Node) maybeEcho(pos types.Position, in *vinst) {
+	if in.echoSent || in.vertex == nil {
+		return
+	}
+	v := in.vertex
+	if !n.parentsDelivered(pos, v) {
+		return // re-tried when the missing parents deliver
+	}
+	if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.selfClan && n.selfClan != types.NoClan {
+		if _, ok := n.rbc.blocks[v.BlockDigest]; !ok {
+			return // wait for the block (push or pull)
+		}
+	}
+	in.echoSent = true
+	in.echoRegistered = false
+	d := v.DigestCached()
+	ctx := echoCtx(pos, d)
+	var sig types.SigBytes
+	if n.cfg.Key != nil {
+		sig = n.cfg.Reg.SignFor(n.cfg.Key, ctx)
+		n.clk.Charge(n.cfg.Costs.EdSign)
+	}
+	n.ep.Broadcast(&types.VoteMsg{K: types.KindEcho, Pos: pos, Digest: d, Voter: n.cfg.Self, Sig: sig})
+}
+
+// ---------------------------------------------------------------------------
+// ECHO and certificates.
+
+// parentsDelivered reports whether every vertex referenced by v has been
+// delivered locally (or fell below the GC horizon). On failure the child is
+// parked in echoWait, keyed by each missing parent, and the missing parents
+// are pulled.
+func (n *Node) parentsDelivered(pos types.Position, v *types.Vertex) bool {
+	ok := true
+	check := func(e types.VertexRef) {
+		p := e.Pos()
+		if p.Round < n.dag.MinRound() {
+			return
+		}
+		pin := n.instIfAny(p)
+		if pin != nil && pin.delivered {
+			return
+		}
+		ok = false
+		if !n.insts2HasWaiter(p, pos) {
+			n.rbc.echoWait[p] = append(n.rbc.echoWait[p], pos)
+		}
+		if pin == nil {
+			pin = n.inst(p)
+		}
+		if !pin.delivered {
+			// Pull the parent regardless of certificate state: the
+			// responder ships its certificate along with the vertex,
+			// which is what authenticates the pulled data.
+			n.maybeStartVtxPull(p, pin)
+		}
+	}
+	for _, e := range v.StrongEdges {
+		check(e)
+	}
+	for _, e := range v.WeakEdges {
+		check(e)
+	}
+	if !ok {
+		if in := n.instIfAny(pos); in != nil {
+			in.echoRegistered = true
+		}
+	}
+	return ok
+}
+
+// insts2HasWaiter reports whether child already waits on parent (dedup).
+func (n *Node) insts2HasWaiter(parent, child types.Position) bool {
+	for _, c := range n.rbc.echoWait[parent] {
+		if c == child {
+			return true
+		}
+	}
+	return false
+}
+
+// echoClan returns the clan whose f_c+1 echo condition applies to pos, or
+// NoClan when no payload is attached.
+func (n *Node) echoClan(pos types.Position, digest types.Hash, in *vinst) types.ClanID {
+	if in.vertex != nil && in.vertex.DigestCached() == digest {
+		if in.vertex.BlockDigest.IsZero() {
+			return types.NoClan
+		}
+		return n.blockClan(in.vertex.Source)
+	}
+	// Without the vertex we cannot tell whether a payload is attached;
+	// demand the clan condition for the proposer's potential clan,
+	// conservatively.
+	return n.blockClan(pos.Source)
+}
+
+func (n *Node) onEcho(from types.NodeID, m *types.VoteMsg) {
+	if from != m.Voter || int(m.Pos.Source) >= n.cfg.N || n.gcd(m.Pos) {
+		return
+	}
+	in := n.inst(m.Pos)
+	if in.hasCert {
+		return // decided; late echoes carry no information
+	}
+	// One counted echo per voter per position, across all candidate
+	// digests: a duplicate (honest retransmit) or an equivocating echo for
+	// a second digest is dropped before any allocation or crypto.
+	if in.echoVoted != nil && types.BitmapHas(in.echoVoted, m.Voter) {
+		return
+	}
+	tally, ok := in.echoes[m.Digest]
+	if !ok {
+		tally = &echoTally{agg: crypto.NewAggregator(n.cfg.N)}
+		in.echoes[m.Digest] = tally
+	}
+	if types.BitmapHas(tally.agg.Bitmap(), m.Voter) {
+		return
+	}
+	var tag [32]byte
+	if n.cfg.Reg.CheckSigs {
+		ctx := echoCtx(m.Pos, m.Digest)
+		if !m.PreVerified() && !n.cfg.Reg.Verify(m.Voter, ctx, m.Sig) {
+			return
+		}
+		// The partial tag (aggregation input) is recomputed inline either
+		// way: aggregation is single-threaded, as in the paper.
+		tag = n.cfg.Reg.PartialFor(m.Voter, ctx)
+	}
+	n.clk.Charge(n.vcosts.EdVerify)
+	if err := tally.agg.Add(m.Voter, tag); err != nil {
+		return
+	}
+	if in.echoVoted == nil {
+		in.echoVoted = make([]byte, (n.cfg.N+7)/8)
+	}
+	types.BitmapSet(in.echoVoted, m.Voter)
+	n.clk.Charge(n.cfg.Costs.AggFold)
+	tally.total++
+	clan := n.echoClan(m.Pos, m.Digest, in)
+	if clan != types.NoClan && n.inClan[clan][m.Voter] {
+		tally.clanVotes++
+	}
+
+	if tally.total < 2*n.cfg.F+1 {
+		return
+	}
+	if clan != types.NoClan && tally.clanVotes < n.fcOf[clan]+1 {
+		return
+	}
+	// Quorum: >= f_c+1 clan members hold the block, so a missing payload
+	// is now retrievable; start pulling early (before delivery), as the
+	// paper prescribes for keeping execution close behind consensus.
+	n.maybeStartBlockPull(m.Pos, in)
+
+	if in.certSent {
+		return
+	}
+	in.certSent = true
+	cert := &types.EchoCertMsg{Pos: m.Pos, Digest: m.Digest, Agg: tally.agg.Sig()}
+	in.cert = cert
+	n.acceptCert(m.Pos, in, m.Digest)
+	n.ep.Broadcast(cert)
+}
+
+// validCert structurally verifies an echo certificate.
+func (n *Node) validCert(m *types.EchoCertMsg) bool {
+	if types.BitmapCount(m.Agg.Bitmap) < 2*n.cfg.F+1 {
+		return false
+	}
+	members := types.BitmapMembers(m.Agg.Bitmap)
+	for _, id := range members {
+		if int(id) >= n.cfg.N {
+			return false
+		}
+	}
+	// Clan condition: conservatively required whenever the proposer is a
+	// block proposer (an empty vertex from a clan member also trivially
+	// satisfies it, since the whole quorum plus clan honest majority
+	// overlap — checked against the vertex when we have it).
+	in := n.instIfAny(m.Pos)
+	clan := types.NoClan
+	if in != nil && in.vertex != nil && in.vertex.DigestCached() == m.Digest {
+		if !in.vertex.BlockDigest.IsZero() {
+			clan = n.blockClan(in.vertex.Source)
+		}
+	} else {
+		clan = n.blockClan(m.Pos.Source)
+	}
+	if clan != types.NoClan {
+		cnt := 0
+		for _, id := range members {
+			if n.inClan[clan][id] {
+				cnt++
+			}
+		}
+		if cnt < n.fcOf[clan]+1 {
+			return false
+		}
+	}
+	if n.cfg.Reg.CheckSigs && !m.PreVerified() && !n.cfg.Reg.VerifyAgg(echoCtx(m.Pos, m.Digest), m.Agg) {
+		return false
+	}
+	n.clk.Charge(n.vcosts.AggVerify)
+	return true
+}
+
+func (n *Node) onCert(from types.NodeID, m *types.EchoCertMsg) {
+	if int(m.Pos.Source) >= n.cfg.N || n.gcd(m.Pos) {
+		return
+	}
+	in := n.inst(m.Pos)
+	if in.hasCert {
+		return
+	}
+	if !n.validCert(m) {
+		return
+	}
+	in.cert = m
+	if !in.certSent {
+		// Forward once so every party obtains the certificate even if
+		// its original assembler was faulty (totality).
+		in.certSent = true
+		n.ep.Broadcast(m)
+	}
+	n.acceptCert(m.Pos, in, m.Digest)
+}
+
+// acceptCert finalizes the RBC's digest decision for pos and tries to
+// deliver.
+func (n *Node) acceptCert(pos types.Position, in *vinst, digest types.Hash) {
+	if in.hasCert {
+		return
+	}
+	in.hasCert = true
+	in.certDigest = digest
+	in.echoes = nil // the certificate supersedes individual votes
+	in.echoVoted = nil
+	if in.vertex != nil && in.vertex.DigestCached() != digest {
+		// The sender equivocated and the quorum certified the other
+		// proposal; ours is garbage. Fetch the certified one.
+		in.vertex = nil
+	}
+	// The certificate proves >= f_c+1 honest clan members hold the block:
+	// safe to start pulling if we still need it.
+	n.maybeStartBlockPull(pos, in)
+	n.maybeDeliver(pos, in)
+}
+
+// maybeDeliver completes the merged RBC for pos: vertex present and matching
+// the certified digest. Blocks are NOT required — the protocol advances on
+// certificates and downloads payloads off the critical path (Section 5).
+func (n *Node) maybeDeliver(pos types.Position, in *vinst) {
+	if in.delivered || !in.hasCert {
+		return
+	}
+	if in.vertex == nil || in.vertex.DigestCached() != in.certDigest {
+		n.maybeStartVtxPull(pos, in)
+		return
+	}
+	in.delivered = true
+	if in.vtxPull != nil {
+		in.vtxPull.Stop()
+		in.vtxPull = nil
+	}
+	n.Metrics.VerticesDelivered++
+	n.mRBCDelivered.Inc()
+	n.mRBCLat.Observe(n.clk.Now() - in.born)
+	// Children whose echoes waited on this parent can proceed now.
+	if kids := n.rbc.echoWait[pos]; len(kids) > 0 {
+		delete(n.rbc.echoWait, pos)
+		for _, kid := range kids {
+			if kin := n.instIfAny(kid); kin != nil {
+				kin.echoRegistered = false
+				n.maybeEcho(kid, kin)
+			}
+		}
+	}
+	v := in.vertex
+	n.ord.deliveredByRound[v.Round] = append(n.ord.deliveredByRound[v.Round], v)
+	if v.Source == n.leader(v.Round) {
+		n.ord.leaderDelivered[v.Round] = true
+	}
+	if v.Round > n.maxQuorumRound && n.ord.leaderDelivered[v.Round] &&
+		len(n.ord.deliveredByRound[v.Round]) >= 2*n.cfg.F+1 {
+		n.maxQuorumRound = v.Round
+	}
+	n.onDelivered(v)
+}
+
+// gcRBC prunes RBC-stage state below the GC horizon: instance rows, parked
+// echo waiters, and the block cache (swept by the round each block commits
+// to — acceptBlock guarantees it matches the vertex round, so nothing below
+// the horizon survives, including blocks whose instance lost its vertex to
+// equivocation replacement).
+func (n *Node) gcRBC(horizon types.Round) {
+	for r, row := range n.rbc.insts {
+		if r >= horizon {
+			continue
+		}
+		for _, in := range row {
+			if in == nil {
+				continue
+			}
+			if in.blockPull != nil {
+				in.blockPull.Stop()
+			}
+			if in.vtxPull != nil {
+				in.vtxPull.Stop()
+			}
+		}
+		delete(n.rbc.insts, r)
+	}
+	for d, blk := range n.rbc.blocks {
+		if blk.Round < horizon {
+			delete(n.rbc.blocks, d)
+		}
+	}
+	for pos := range n.rbc.echoWait {
+		if pos.Round < horizon {
+			delete(n.rbc.echoWait, pos)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pull paths.
+
+// maybeStartBlockPull requests the block for pos's vertex if this party
+// needs it and lacks it.
+func (n *Node) maybeStartBlockPull(pos types.Position, in *vinst) {
+	if in.blockPull != nil || in.vertex == nil {
+		return
+	}
+	v := in.vertex
+	if v.BlockDigest.IsZero() || n.blockClan(v.Source) != n.selfClan || n.selfClan == types.NoClan {
+		return
+	}
+	if _, ok := n.rbc.blocks[v.BlockDigest]; ok {
+		return
+	}
+	n.sendBlockPull(pos, in)
+}
+
+func (n *Node) sendBlockPull(pos types.Position, in *vinst) {
+	v := in.vertex
+	if v == nil {
+		in.blockPull = nil
+		return
+	}
+	if _, ok := n.rbc.blocks[v.BlockDigest]; ok {
+		in.blockPull = nil
+		return
+	}
+	clan := n.clans[n.selfClan]
+	// Rotate over clan peers.
+	var target types.NodeID = n.cfg.Self
+	for i := 0; i < len(clan); i++ {
+		cand := clan[in.pullCursor%len(clan)]
+		in.pullCursor++
+		if cand != n.cfg.Self {
+			target = cand
+			break
+		}
+	}
+	if target == n.cfg.Self {
+		return
+	}
+	n.ep.Send(target, &types.BlockReqMsg{Pos: pos, Digest: v.BlockDigest})
+	in.blockPull = n.clk.After(n.cfg.PullRetry, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		in.blockPull = nil
+		n.sendBlockPull(pos, in)
+	})
+}
+
+func (n *Node) onBlockReq(from types.NodeID, m *types.BlockReqMsg) {
+	blk, ok := n.rbc.blocks[m.Digest]
+	if !ok {
+		return
+	}
+	n.clk.Charge(n.cfg.Costs.StoreRead)
+	n.ep.Send(from, &types.BlockRspMsg{Block: blk})
+}
+
+func (n *Node) onBlockRsp(from types.NodeID, m *types.BlockRspMsg) {
+	if m.Block == nil {
+		return
+	}
+	pos := types.Position{Round: m.Block.Round, Source: m.Block.Source}
+	if n.gcd(pos) {
+		return
+	}
+	in := n.instIfAny(pos)
+	if in == nil || in.vertex == nil {
+		return
+	}
+	n.acceptBlock(in.vertex, m.Block)
+}
+
+// maybeStartVtxPull fetches a missing (or equivocation-replaced) vertex once
+// its certificate is known.
+func (n *Node) maybeStartVtxPull(pos types.Position, in *vinst) {
+	if in.vtxPull != nil || in.delivered {
+		return
+	}
+	n.sendVtxPull(pos, in)
+}
+
+func (n *Node) sendVtxPull(pos types.Position, in *vinst) {
+	if in.delivered {
+		in.vtxPull = nil
+		return
+	}
+	// Rotate over the whole tribe (anyone who echoed may hold it).
+	var target types.NodeID
+	for {
+		target = types.NodeID(in.pullCursor % n.cfg.N)
+		in.pullCursor++
+		if target != n.cfg.Self {
+			break
+		}
+	}
+	n.ep.Send(target, &types.VtxReqMsg{Pos: pos})
+	in.vtxPull = n.clk.After(n.cfg.PullRetry, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		in.vtxPull = nil
+		n.sendVtxPull(pos, in)
+	})
+}
+
+func (n *Node) onVtxReq(from types.NodeID, m *types.VtxReqMsg) {
+	in := n.instIfAny(m.Pos)
+	if in == nil || in.vertex == nil {
+		return
+	}
+	// Ship the certificate first: the requester can only accept a pulled
+	// vertex that a certificate pins (and a certificate alone lets it
+	// count the delivery once the vertex follows).
+	if in.cert != nil {
+		n.ep.Send(from, in.cert)
+	}
+	rsp := &types.VtxRspMsg{Vertex: in.vertex}
+	v := in.vertex
+	if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.clanOf[from] {
+		if blk, ok := n.rbc.blocks[v.BlockDigest]; ok {
+			rsp.Block = blk
+			n.clk.Charge(n.cfg.Costs.StoreRead)
+		}
+	}
+	n.ep.Send(from, rsp)
+}
+
+func (n *Node) onVtxRsp(from types.NodeID, m *types.VtxRspMsg) {
+	v := m.Vertex
+	if v == nil || int(v.Source) >= n.cfg.N {
+		return
+	}
+	pos := v.Pos()
+	if n.gcd(pos) {
+		return
+	}
+	in := n.instIfAny(pos)
+	if in == nil || in.delivered {
+		return
+	}
+	if in.vertex == nil {
+		// Accept only a vertex pinned by the certificate (the cert is
+		// the proof of uniqueness; a signature check would be redundant
+		// but the structure must still be sound).
+		if !in.hasCert || v.DigestCached() != in.certDigest || !n.validateVertex(v) {
+			return
+		}
+		in.vertex = v
+		n.countVote(v)
+	}
+	if m.Block != nil {
+		n.acceptBlock(in.vertex, m.Block)
+	}
+	n.maybeDeliver(pos, in)
+}

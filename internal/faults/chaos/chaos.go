@@ -30,10 +30,18 @@ import (
 	"clanbft/internal/crypto"
 	"clanbft/internal/faults"
 	"clanbft/internal/mempool"
+	"clanbft/internal/metrics"
 	"clanbft/internal/simnet"
 	"clanbft/internal/store"
 	"clanbft/internal/types"
 )
+
+// execQueue is the exec stage's bounded-channel capacity for chaos nodes.
+// Chaos always runs the async execution boundary: the push side takes no
+// clock-dependent action, so the simulator's event schedule — and the trace
+// the safety checks require to be byte-identical per seed — is unchanged,
+// while the property checks themselves exercise the flush barrier.
+const execQueue = 64
 
 // Options parameterizes one chaos scenario.
 type Options struct {
@@ -79,6 +87,9 @@ type Result struct {
 	// post-heal checkpoint and at the end of the run.
 	OrderedAtCheck []int
 	OrderedAtEnd   []int
+	// Pipeline is the cluster-wide merged per-stage metrics snapshot
+	// (current incarnations, taken at the end of the run).
+	Pipeline metrics.Snapshot
 }
 
 // Failed reports whether any property was violated.
@@ -168,6 +179,7 @@ type cluster struct {
 	dirs   []string
 	stores []store.Store
 	nodes  []*core.Node
+	regs   []*metrics.Registry
 	orders [][]types.Position
 
 	valSeen    map[types.Position]types.Hash
@@ -197,6 +209,8 @@ func (c *cluster) startNode(i int) {
 		Store:        c.stores[i],
 		Blocks:       mempool.NewGenerator(id, 3, 64, true),
 		RoundTimeout: 700 * time.Millisecond,
+		ExecQueue:    execQueue,
+		Metrics:      c.regs[i],
 		Deliver: func(cv core.CommittedVertex) {
 			c.orders[i] = append(c.orders[i], cv.Vertex.Pos())
 		},
@@ -228,6 +242,7 @@ func Run(opts Options) Result {
 		dirs:    make([]string, n),
 		stores:  make([]store.Store, n),
 		nodes:   make([]*core.Node, n),
+		regs:    make([]*metrics.Registry, n),
 		orders:  make([][]types.Position, n),
 		valSeen: map[types.Position]types.Hash{},
 	}
@@ -284,6 +299,8 @@ func Run(opts Options) Result {
 		}
 		c.stores[i] = s
 		c.eps[i] = c.fnet.Wrap(c.net.Endpoint(types.NodeID(i)), c.net.Clock(types.NodeID(i)))
+		c.regs[i] = metrics.New()
+		c.eps[i].RegisterMetrics(c.regs[i])
 	}
 	for i := 0; i < n; i++ {
 		c.startNode(i)
@@ -327,6 +344,11 @@ func Run(opts Options) Result {
 	endAt := checkAt + 4500*time.Millisecond
 
 	c.net.RunUntil(checkAt)
+	// Commit heights are written by the async exec stages; drain them
+	// before reading (stopped nodes flush as a no-op).
+	for i := range c.nodes {
+		c.nodes[i].Flush()
+	}
 	atCheck := make([]int, n)
 	for i := range c.orders {
 		atCheck[i] = len(c.orders[i])
@@ -334,6 +356,9 @@ func Run(opts Options) Result {
 	c.trace.Logf(c.net.Now(), "checkpoint: ordered=%v", atCheck)
 
 	c.net.RunUntil(endAt)
+	for i := range c.nodes {
+		c.nodes[i].Flush()
+	}
 	atEnd := make([]int, n)
 	for i := range c.orders {
 		atEnd[i] = len(c.orders[i])
@@ -350,10 +375,19 @@ func Run(opts Options) Result {
 	// ordered twice within an incarnation.
 	c.checkSafety()
 
+	snaps := make([]metrics.Snapshot, 0, n)
+	for i := range c.nodes {
+		snaps = append(snaps, c.nodes[i].PipelineSnapshot())
+	}
+	for i := range c.nodes {
+		c.nodes[i].Stop()
+	}
 	for i := range c.stores {
 		c.stores[i].Close()
 	}
-	return c.result(sched, atCheck, atEnd)
+	res := c.result(sched, atCheck, atEnd)
+	res.Pipeline = metrics.Merge(snaps...)
+	return res
 }
 
 func (c *cluster) checkSafety() {

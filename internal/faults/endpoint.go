@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clanbft/internal/metrics"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
 )
@@ -270,6 +271,19 @@ func (e *Endpoint) FaultStats() FaultStats {
 		Duplicated: e.duped.Load(),
 		Delayed:    e.delayed.Load(),
 	}
+}
+
+// RegisterMetrics folds the wrapper's fault counters into reg's snapshots
+// under the `faults.*` namespace — the compatibility shim that keeps
+// FaultStats the source of truth while the unified pipeline snapshot is the
+// single point of consumption.
+func (e *Endpoint) RegisterMetrics(reg *metrics.Registry) {
+	reg.OnSnapshot(func(s *metrics.Snapshot) {
+		fs := e.FaultStats()
+		s.SetCounter("faults.dropped", fs.Dropped)
+		s.SetCounter("faults.duplicated", fs.Duplicated)
+		s.SetCounter("faults.delayed", fs.Delayed)
+	})
 }
 
 // Self returns the wrapped endpoint's ID.

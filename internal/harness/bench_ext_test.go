@@ -1,0 +1,15 @@
+package harness_test
+
+import (
+	"testing"
+
+	"clanbft/internal/perfbench"
+)
+
+// BenchmarkPipelineE2E gates the staged commit pipeline end to end:
+// commits/sec over simulated time is a deterministic property of the
+// protocol code path and must not fall below 80% of the checked-in
+// baseline (see cmd/bench -baseline).
+func BenchmarkPipelineE2E(b *testing.B) {
+	perfbench.PipelineE2E(b)
+}

@@ -16,11 +16,20 @@ import (
 	"clanbft/internal/crypto"
 	"clanbft/internal/faults"
 	"clanbft/internal/mempool"
+	"clanbft/internal/metrics"
 	"clanbft/internal/simnet"
 	"clanbft/internal/store"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
 )
+
+// ExecQueue is the execution stage's bounded-channel capacity for harness
+// nodes. The harness always exercises the async exec boundary — the
+// production configuration — which is safe under the discrete-event
+// simulator because measurement uses CommittedVertex.OrderedAt (stamped in
+// handler context on virtual time) and the run flushes every node's
+// executor before reading samples.
+const ExecQueue = 256
 
 // Config is one experiment data point.
 type Config struct {
@@ -99,6 +108,18 @@ type Result struct {
 	// FaultsDropped totals the messages the fault layer suppressed across
 	// all nodes (link drops, partitions, crashes).
 	FaultsDropped uint64
+
+	// Pipeline is the cluster-wide merged metrics snapshot: per-stage
+	// queue depths, occupancy, and latency histograms for intake, rbc,
+	// order, and exec, plus transport/store counters (metrics.Merge over
+	// every node's registry).
+	Pipeline metrics.Snapshot
+
+	// Order is node 0's committed sequence over the full run (vertex
+	// positions in delivery order, deduplicated across restarts). It is
+	// the determinism witness: an identical Config must reproduce it
+	// byte for byte, async execution included.
+	Order []types.Position
 }
 
 // PaperClanSize returns the clan sizes used in Section 7 (failure
@@ -190,6 +211,15 @@ func Run(cfg Config) Result {
 	measureStart := cfg.Warmup
 	measureEnd := cfg.Warmup + cfg.Measure
 
+	// Commit-order witness (Result.Order): node 0's full delivery
+	// sequence. Recovery after a crash re-emits the order from scratch,
+	// so dedupe per position when the fault layer is active.
+	var order []types.Position
+	var orderSeen map[types.Position]bool
+	if cfg.Faults != nil {
+		orderSeen = make(map[types.Position]bool)
+	}
+
 	// Fault layer: wrap every endpoint so the schedule's link rules,
 	// partitions and crash gates apply on the exact production send path.
 	// Crashed nodes keep state in a per-node in-memory store and are rebuilt
@@ -217,6 +247,13 @@ func Run(cfg Config) Result {
 	}
 
 	nodes := make([]*core.Node, cfg.N)
+	regs := make([]*metrics.Registry, cfg.N)
+	for i := range regs {
+		regs[i] = metrics.New()
+		if feps != nil {
+			feps[i].RegisterMetrics(regs[i])
+		}
+	}
 	mkNode := func(i int) *core.Node {
 		id := types.NodeID(i)
 		clk := net.Clock(id)
@@ -239,6 +276,15 @@ func Run(cfg Config) Result {
 			Store:           st,
 			Deliver: func(cv core.CommittedVertex) {
 				v := cv.Vertex
+				if i == 0 {
+					pos := v.Pos()
+					if orderSeen == nil {
+						order = append(order, pos)
+					} else if !orderSeen[pos] {
+						orderSeen[pos] = true
+						order = append(order, pos)
+					}
+				}
 				if v.BlockDigest.IsZero() {
 					return
 				}
@@ -252,7 +298,10 @@ func Run(cfg Config) Result {
 					}
 					s.seen[pos] = true
 				}
-				now := clk.Now()
+				// Deliver runs on the exec-stage goroutine; the virtual
+				// clock belongs to the simulator goroutine and must not
+				// be read here. OrderedAt was stamped in handler context.
+				now := cv.OrderedAt
 				if now < measureStart || now > measureEnd {
 					return
 				}
@@ -303,6 +352,18 @@ func Run(cfg Config) Result {
 		})
 	}
 	net.RunUntil(measureEnd)
+	// Drain the async execution stages before reading anything Deliver
+	// wrote, then retire the executor goroutines.
+	for _, n := range nodes {
+		n.Flush()
+	}
+	snaps := make([]metrics.Snapshot, 0, cfg.N)
+	for _, n := range nodes {
+		snaps = append(snaps, n.PipelineSnapshot())
+	}
+	for _, n := range nodes {
+		n.Stop()
+	}
 
 	res := Result{
 		Mode:          cfg.Mode,
@@ -353,5 +414,7 @@ func Run(cfg Config) Result {
 	}
 	res.OrderedTxs = samples[0].txs
 	res.TPS = float64(res.OrderedTxs) / cfg.Measure.Seconds()
+	res.Pipeline = metrics.Merge(snaps...)
+	res.Order = order
 	return res
 }

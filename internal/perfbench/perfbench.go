@@ -17,6 +17,8 @@ import (
 	"testing"
 	"time"
 
+	"clanbft/internal/core"
+	"clanbft/internal/harness"
 	"clanbft/internal/store"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
@@ -142,6 +144,29 @@ func DiskGroupCommit(b *testing.B, writers int) {
 	}
 }
 
+// PipelineE2E drives the full staged commit pipeline — intake → rbc →
+// order → async exec — through the harness simulator and reports
+// commits/sec: committed vertices per simulated second at node 0. Virtual
+// time and a fixed seed make the number a deterministic property of the
+// protocol code path (unlike ns/op, which measures the runner), so it gates
+// CI end to end alongside the structural allocs/op and fsyncs/op metrics.
+// commits/sec is higher-is-better; compareBaseline in cmd/bench knows.
+func PipelineE2E(b *testing.B) {
+	const warm, meas = 2 * time.Second, 6 * time.Second
+	commits := 0
+	for i := 0; i < b.N; i++ {
+		res := harness.Run(harness.Config{
+			Mode: core.ModeSingleClan, N: 12, TxPerProposal: 50,
+			Warmup: warm, Measure: meas, Seed: 42,
+		})
+		commits = len(res.Order)
+	}
+	if commits == 0 {
+		b.Fatal("pipeline committed nothing")
+	}
+	b.ReportMetric(float64(commits)/(warm+meas).Seconds(), "commits/sec")
+}
+
 // Row is one benchmark result in the BENCH_PR2.json artifact.
 type Row struct {
 	Name        string             `json:"name"`
@@ -170,15 +195,17 @@ func Run(name string, fn func(b *testing.B)) Row {
 	return row
 }
 
-// Suite runs the PR's gating micro-benchmarks: the multicast at two peer
-// counts (allocs/op must match — the encode-once invariant) and group commit
-// at two writer counts (fsyncs/op must stay below one).
+// Suite runs the gating micro-benchmarks: the multicast at two peer counts
+// (allocs/op must match — the encode-once invariant), group commit at two
+// writer counts (fsyncs/op must stay below one), and the end-to-end pipeline
+// (commits/sec must not fall).
 func Suite(verbose io.Writer) []Row {
 	rows := []Row{
 		Run("MulticastEncodeOnce/peers=4/payload=1MiB", func(b *testing.B) { MulticastEncodeOnce(b, 4, 1<<20) }),
 		Run("MulticastEncodeOnce/peers=40/payload=1MiB", func(b *testing.B) { MulticastEncodeOnce(b, 40, 1<<20) }),
 		Run("DiskGroupCommit/writers=8", func(b *testing.B) { DiskGroupCommit(b, 8) }),
 		Run("DiskGroupCommit/writers=16", func(b *testing.B) { DiskGroupCommit(b, 16) }),
+		Run("PipelineE2E/n=12/single-clan", PipelineE2E),
 	}
 	if verbose != nil {
 		for _, r := range rows {

@@ -31,6 +31,7 @@ import (
 
 	"clanbft/internal/committee"
 	"clanbft/internal/crypto"
+	"clanbft/internal/metrics"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
 )
@@ -72,6 +73,10 @@ type Config struct {
 	// crypto.VerifyPool (see Node.Verifier). 0 or 1 models the serial
 	// inline path.
 	VerifyCores int
+	// Metrics, when non-nil, records rbc.* instruments (delivered count
+	// and bytes, VAL-to-delivery latency, live-instance queue depth)
+	// into the unified metrics spine. Nil disables recording.
+	Metrics *metrics.Registry
 }
 
 // Node runs RBC instances multiplexed over one endpoint. The internal mutex
@@ -90,6 +95,11 @@ type Node struct {
 	// vcosts charges verification at parallel rates when a verify pool
 	// fronts the mailbox (cfg.VerifyCores > 1).
 	vcosts crypto.Costs
+
+	// Metrics instruments (nil when cfg.Metrics is nil).
+	mDelivered *metrics.Counter
+	mBytes     *metrics.Counter
+	mLat       *metrics.Histogram
 }
 
 type instKey struct {
@@ -120,6 +130,10 @@ type inst struct {
 
 	pullTimer transport.Timer
 	pullNext  int // round-robin cursor over clan members
+
+	// born is the clock reading when the instance was first touched,
+	// the start point for the rbc.latency histogram.
+	born time.Duration
 }
 
 // New creates an RBC node. The caller routes Bcast* messages into Handle.
@@ -142,6 +156,23 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 	}
 	if cfg.VerifyCores > 1 {
 		n.vcosts = cfg.Costs.Parallel(cfg.VerifyCores)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		n.mDelivered = reg.Counter(types.StageRBC.Metric("delivered"))
+		n.mBytes = reg.Counter(types.StageRBC.Metric("bytes"))
+		n.mLat = reg.Histogram(types.StageRBC.Metric("latency"))
+		depth := reg.Gauge(types.StageRBC.Metric("queue_depth"))
+		reg.OnSnapshot(func(*metrics.Snapshot) {
+			n.mu.Lock()
+			live := 0
+			for _, in := range n.insts {
+				if !in.delivered {
+					live++
+				}
+			}
+			n.mu.Unlock()
+			depth.Set(int64(live))
+		})
 	}
 	if cfg.Clan != nil {
 		n.inClan = map[types.NodeID]bool{}
@@ -267,6 +298,7 @@ func (n *Node) get(sender types.NodeID, seq uint64) *inst {
 		in = &inst{
 			echoes:  map[types.Hash]map[types.NodeID][32]byte{},
 			readies: map[types.Hash]map[types.NodeID]bool{},
+			born:    n.clk.Now(),
 		}
 		n.insts[k] = in
 	}
@@ -546,6 +578,11 @@ func (n *Node) maybeDeliver(sender types.NodeID, seq uint64, in *inst) {
 	if in.pullTimer != nil {
 		in.pullTimer.Stop()
 		in.pullTimer = nil
+	}
+	if n.mDelivered != nil {
+		n.mDelivered.Inc()
+		n.mBytes.Add(uint64(len(in.payload)))
+		n.mLat.Observe(n.clk.Now() - in.born)
 	}
 	if n.cfg.Deliver != nil {
 		n.cfg.Deliver(Event{

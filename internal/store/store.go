@@ -227,6 +227,7 @@ type Disk struct {
 	records atomic.Uint64 // records committed
 	groups  atomic.Uint64 // group flushes (writes)
 	syncs   atomic.Uint64 // fsyncs issued by the committer
+	bytes   atomic.Uint64 // WAL bytes written
 }
 
 // commitGroup is one forming commit batch: the concatenation of every
@@ -254,13 +255,14 @@ var groupScratch = sync.Pool{New: func() any { return new(groupBufs) }}
 // fsync.
 type DiskStats struct {
 	Records uint64 // individually acknowledged records
+	Bytes   uint64 // WAL bytes written
 	Groups  uint64 // WAL writes (one per group)
 	Syncs   uint64 // fsyncs (one per group when SyncEvery is on)
 }
 
 // Stats returns cumulative commit-pipeline counters.
 func (s *Disk) Stats() DiskStats {
-	return DiskStats{Records: s.records.Load(), Groups: s.groups.Load(), Syncs: s.syncs.Load()}
+	return DiskStats{Records: s.records.Load(), Bytes: s.bytes.Load(), Groups: s.groups.Load(), Syncs: s.syncs.Load()}
 }
 
 // Options configures a Disk store.
@@ -510,6 +512,7 @@ func (s *Disk) flushGroup(g *commitGroup) {
 		err = errClosed
 	} else if _, err = s.f.Write(g.buf); err == nil {
 		s.walSize += int64(len(g.buf))
+		s.bytes.Add(uint64(len(g.buf)))
 		if s.syncEvery {
 			s.syncs.Add(1)
 			err = s.f.Sync()

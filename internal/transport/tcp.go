@@ -186,6 +186,7 @@ func (e *TCPEndpoint) Stats() Stats {
 		MsgsDropped: e.msgsDropped.Load(),
 	}
 	e.vc.fill(&s)
+	s.HandlerQueue = uint64(e.mb.depth())
 	return s
 }
 

@@ -80,6 +80,11 @@ type Stats struct {
 	VerifyRejected uint64        // messages dropped for bad signatures
 	VerifyPending  uint64        // messages currently awaiting a verdict
 	VerifyLatency  time.Duration // mean submit-to-verdict latency
+
+	// HandlerQueue is the instantaneous depth of the serialized handler
+	// mailbox (the intake stage's queue; always 0 on simulated endpoints,
+	// which deliver handler calls synchronously from the event loop).
+	HandlerQueue uint64
 }
 
 // Clock abstracts time so the simulator can run on virtual time.
@@ -177,6 +182,14 @@ func (m *mailbox) push(t task) {
 		m.cond.Signal()
 	}
 	m.mu.Unlock()
+}
+
+// depth returns the instantaneous queue length (intake backlog).
+func (m *mailbox) depth() int {
+	m.mu.Lock()
+	d := len(m.queue)
+	m.mu.Unlock()
+	return d
 }
 
 func (m *mailbox) setHandler(h Handler) {
@@ -417,6 +430,7 @@ func (e *chanEndpoint) Stats() Stats {
 		BytesRecv: e.bytesRecv.Load(),
 	}
 	e.vc.fill(&s)
+	s.HandlerQueue = uint64(e.mb.depth())
 	return s
 }
 

@@ -1,0 +1,49 @@
+package types
+
+// Stage identifies one of the four stages of the commit pipeline a message
+// or committed vertex flows through. The taxonomy is shared by the core
+// engine's pipeline decomposition and the metrics registry naming scheme
+// (`<stage>.<metric>`), so per-stage instruments line up across layers.
+type Stage uint8
+
+const (
+	// StageIntake is the wire-to-mailbox stage: framing, the parallel
+	// verify pool, and the serialized handler queue.
+	StageIntake Stage = iota
+	// StageRBC is the merged vertex+block reliable-broadcast state machine
+	// (VAL/ECHO/certificates, delivery).
+	StageRBC
+	// StageOrder is DAG insertion plus the Sailfish leader/commit rule and
+	// total ordering.
+	StageOrder
+	// StageExec is the execution/commit stage: ordered vertices handed to
+	// the application's Deliver callback.
+	StageExec
+
+	// NumStages is the number of pipeline stages.
+	NumStages = int(StageExec) + 1
+)
+
+// String returns the stage's metric-name prefix.
+func (s Stage) String() string {
+	switch s {
+	case StageIntake:
+		return "intake"
+	case StageRBC:
+		return "rbc"
+	case StageOrder:
+		return "order"
+	case StageExec:
+		return "exec"
+	}
+	return "unknown"
+}
+
+// Metric joins the stage prefix and a metric suffix into a registry name,
+// e.g. StageExec.Metric("queue_depth") == "exec.queue_depth".
+func (s Stage) Metric(suffix string) string { return s.String() + "." + suffix }
+
+// Stages lists all pipeline stages in flow order.
+func Stages() [NumStages]Stage {
+	return [NumStages]Stage{StageIntake, StageRBC, StageOrder, StageExec}
+}

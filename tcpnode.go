@@ -8,6 +8,7 @@ import (
 	"clanbft/internal/core"
 	"clanbft/internal/crypto"
 	"clanbft/internal/mempool"
+	"clanbft/internal/metrics"
 	"clanbft/internal/store"
 	"clanbft/internal/transport"
 	"clanbft/internal/types"
@@ -96,6 +97,7 @@ func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
 		LeadersPerRound: o.LeadersPerRound,
 		RoundTimeout:    o.RoundTimeout,
 		VerifyCores:     verifyCores,
+		ExecQueue:       o.ExecQueue,
 		Deliver: func(cv core.CommittedVertex) {
 			for _, fn := range n.onCommit {
 				fn(cv)
@@ -136,14 +138,22 @@ func (n *TCPNode) Clans() [][]NodeID { return n.clans }
 // Metrics returns the node's consensus counters.
 func (n *TCPNode) Metrics() core.Metrics { return n.node.MetricsSnapshot() }
 
+// PipelineMetrics returns the node's unified pipeline metrics snapshot
+// (per-stage queue depths and latency histograms plus transport counters).
+func (n *TCPNode) PipelineMetrics() metrics.Snapshot { return n.node.PipelineSnapshot() }
+
 // Round returns the node's current round.
 func (n *TCPNode) Round() types.Round { return n.node.Round() }
 
 // Stats returns transport-level traffic counters.
 func (n *TCPNode) Stats() transport.Stats { return n.ep.Stats() }
 
-// Close shuts the node down.
+// Close shuts the node down: drains pending commit deliveries (ExecQueue
+// > 0), stops the consensus engine, then closes the endpoint, verify pool,
+// and store.
 func (n *TCPNode) Close() error {
+	n.node.Flush()
+	n.node.Stop()
 	err := n.ep.Close()
 	if n.vpool != nil {
 		// After the endpoint: read loops must stop submitting first.
