@@ -426,6 +426,9 @@ func (n *Node) initMetrics() {
 		s.SetCounter("transport.msgs_recv", st.MsgsRecv)
 		s.SetCounter("transport.bytes_recv", st.BytesRecv)
 		s.SetCounter("transport.msgs_dropped", st.MsgsDropped)
+		s.SetCounter("transport.rx_alloc_bytes", st.RxAllocBytes)
+		s.SetCounter("transport.coalesced_frames", st.CoalescedFrames)
+		s.SetCounter("transport.flushes", st.Flushes)
 		n.mu.Lock()
 		live := 0
 		for _, row := range n.rbc.insts {

@@ -175,7 +175,7 @@ func (n *Node) propose(r types.Round) {
 				blk.CreatedAt = int64(n.clk.Now())
 			}
 			n.clk.Charge(n.cfg.Costs.HashCost(blk.PayloadBytes()))
-			v.BlockDigest = blk.Digest()
+			v.BlockDigest = blk.DigestCached()
 			n.rbc.blocks[v.BlockDigest] = blk
 			if n.cfg.Store != nil {
 				// Staged only: persistProposal flushes the block and the

@@ -174,9 +174,12 @@ func (n *Node) acceptBlock(v *types.Vertex, blk *types.Block) {
 		return
 	}
 	n.clk.Charge(n.cfg.Costs.HashCost(blk.PayloadBytes()))
-	if blk.Digest() != v.BlockDigest {
+	if blk.DigestCached() != v.BlockDigest {
 		return // payload does not match the vertex's commitment
 	}
+	// The block outlives this handler (block cache, WAL, exec stage): stop
+	// aliasing the pooled receive buffer it was zero-copy decoded from.
+	blk.Detach()
 	n.rbc.blocks[v.BlockDigest] = blk
 	n.Metrics.BlocksReceived++
 	if n.cfg.Store != nil {

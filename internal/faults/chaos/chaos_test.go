@@ -55,10 +55,15 @@ func TestChaosMixedFaults(t *testing.T) {
 		for s := int64(0); s < int64(seeds); s++ {
 			seed := base + s
 			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				// Crashes, restarts, and torn WAL tails exercise every
+				// buffer-release path (dropped frames, aborted batches); the
+				// pool must still balance once the run shuts down.
+				pc := types.StartPoolCheck()
 				r := Run(Options{Seed: seed, Mode: mode, Dir: t.TempDir()})
 				if r.Failed() {
 					dumpFailure(t, r)
 				}
+				pc.AssertBalanced(t)
 			})
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"clanbft/internal/core"
+	"clanbft/internal/types"
 )
 
 // TestCommitOrderDeterminism: the same seeded scenario run twice must
@@ -13,6 +14,13 @@ import (
 // decoupling execution from the handler does not perturb the simulated
 // schedule — the exec handoff takes no clock-dependent action. Both
 // clan-confined dissemination modes are covered.
+//
+// The zero-copy receive path and sender-side coalescing are TCP-only knobs:
+// the simulator never encodes messages (it bills bandwidth analytically via
+// WireSize), so they cannot perturb this schedule by construction. What the
+// harness does share with the real transport is the buffer pool, so each run
+// is bracketed by a pool-leak check: every pooled buffer a run takes (WAL
+// batches, encode scratch) must be returned by shutdown.
 func TestCommitOrderDeterminism(t *testing.T) {
 	cases := []struct {
 		name string
@@ -29,7 +37,9 @@ func TestCommitOrderDeterminism(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
+			pc := types.StartPoolCheck()
 			a, b := Run(tc.cfg), Run(tc.cfg)
+			pc.AssertBalanced(t)
 			if len(a.Order) == 0 {
 				t.Fatal("run committed nothing")
 			}

@@ -103,6 +103,150 @@ func MulticastEncodeOnce(b *testing.B, peers, payloadBytes int) {
 	b.ReportMetric(float64(st.MsgsDropped)/float64(b.N), "drops/op")
 }
 
+// rxBatch is how many framed votes one RxDecodeZeroCopy op decodes — sized
+// to the Decoder's vote arena so the zero-copy path shows its steady state
+// (one arena allocation amortized over the whole batch).
+const rxBatch = 64
+
+// RxDecodeZeroCopy measures decoding a chunk of framed ECHO votes — the
+// highest-volume message class — either the pre-zero-copy way (one
+// make([]byte) per frame + types.Decode) or through the pooled
+// RecvBuf + alias Decoder path the TCP read loop now uses. One op decodes
+// rxBatch messages, so allocs/op ≈ allocations per 64 votes: the copying
+// path pays ≥ 2 per vote (frame copy + struct), the zero-copy path amortizes
+// a pooled chunk and one vote arena across the batch.
+func RxDecodeZeroCopy(b *testing.B, zerocopy bool) {
+	vote := &types.VoteMsg{K: types.KindEcho, Pos: types.Position{Round: 912, Source: 37}, Voter: 41}
+	for i := range vote.Digest {
+		vote.Digest[i] = byte(i * 7)
+	}
+	for i := range vote.Sig {
+		vote.Sig[i] = byte(i * 3)
+	}
+	one := types.Encode(vote, nil)
+	stream := make([]byte, 0, rxBatch*(4+len(one)))
+	for i := 0; i < rxBatch; i++ {
+		stream = binary.BigEndian.AppendUint32(stream, uint32(len(one)))
+		stream = append(stream, one...)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	if zerocopy {
+		dec := types.Decoder{Alias: true}
+		for i := 0; i < b.N; i++ {
+			rb := types.NewRecvBuf(len(stream))
+			chunk := rb.Bytes()[:copy(rb.Bytes(), stream)]
+			off := 0
+			for j := 0; j < rxBatch; j++ {
+				n := int(binary.BigEndian.Uint32(chunk[off:]))
+				m, err := dec.DecodeFrom(rb, chunk[off+4:off+4+n])
+				if err != nil {
+					b.Fatal(err)
+				}
+				types.ReleaseMsg(m)
+				off += 4 + n
+			}
+			rb.Release()
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			off := 0
+			for j := 0; j < rxBatch; j++ {
+				n := int(binary.BigEndian.Uint32(stream[off:]))
+				frame := make([]byte, n)
+				copy(frame, stream[off+4:off+4+n])
+				if _, err := types.Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+				off += 4 + n
+			}
+		}
+	}
+}
+
+// SmallMsgCoalesce measures sending a stream of vote-sized messages to one
+// peer over a real socket, with the writer's coalescing on or off. Wire
+// bytes are identical either way (each frame keeps its own length prefix);
+// what changes is flushes/msg — writev syscalls per message — which
+// coalescing drives far below 1 by batching queued frames into one gather
+// write. coalesced/msg counts the frames that rode along free.
+func SmallMsgCoalesce(b *testing.B, coalesce bool) {
+	sink, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	var sunk atomic.Int64
+	go func() {
+		for {
+			c, err := sink.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 1<<20)
+				for {
+					n, err := c.Read(buf)
+					sunk.Add(int64(n))
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	addrs := map[types.NodeID]string{0: "127.0.0.1:0", 1: sink.Addr().String()}
+	ep, err := transport.NewTCPEndpoint(0, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	if !coalesce {
+		ep.SetCoalescing(transport.CoalesceConfig{})
+	}
+
+	msg := &types.VoteMsg{K: types.KindEcho, Pos: types.Position{Round: 3, Source: 1}, Voter: 0}
+	// wireOut computes the bytes the sink should eventually see: frame
+	// bodies + 4-byte prefixes + the 2-byte dial handshake.
+	wireOut := func(st transport.Stats) int64 {
+		return int64(st.BytesSent) + 4*int64(st.MsgsSent) + 2
+	}
+	// drain waits for the sink to absorb everything enqueued so far. The
+	// deadline only matters if frames were dropped (none at this pacing).
+	drain := func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for sunk.Load() < wireOut(ep.Stats()) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Prime the connection so the dial/handshake is not billed to the ops.
+	ep.Send(1, msg)
+	drain()
+
+	b.SetBytes(int64(msg.WireSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep.Send(1, msg)
+		// Pace below the out-queue's capacity so the benchmark measures the
+		// coalescing writer, not drop behavior on an overflowing queue.
+		for wireOut(ep.Stats())-sunk.Load() > 256<<10 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	drain()
+	b.StopTimer()
+	st := ep.Stats()
+	if st.MsgsSent > 0 {
+		b.ReportMetric(float64(st.Flushes)/float64(st.MsgsSent), "flushes/msg")
+		b.ReportMetric(float64(st.CoalescedFrames)/float64(st.MsgsSent), "coalesced/msg")
+	}
+	b.ReportMetric(float64(st.MsgsDropped)/float64(b.N), "drops/op")
+}
+
 // DiskGroupCommit measures a Put against a SyncEvery WAL under `writers`
 // concurrent goroutines. Group commit shows up as fsyncs/op < 1: many
 // acknowledged records ride each fsync. The store is opened fresh per
@@ -203,6 +347,10 @@ func Suite(verbose io.Writer) []Row {
 	rows := []Row{
 		Run("MulticastEncodeOnce/peers=4/payload=1MiB", func(b *testing.B) { MulticastEncodeOnce(b, 4, 1<<20) }),
 		Run("MulticastEncodeOnce/peers=40/payload=1MiB", func(b *testing.B) { MulticastEncodeOnce(b, 40, 1<<20) }),
+		Run("RxDecodeZeroCopy/mode=copying", func(b *testing.B) { RxDecodeZeroCopy(b, false) }),
+		Run("RxDecodeZeroCopy/mode=zerocopy", func(b *testing.B) { RxDecodeZeroCopy(b, true) }),
+		Run("SmallMsgCoalesce/coalesce=off", func(b *testing.B) { SmallMsgCoalesce(b, false) }),
+		Run("SmallMsgCoalesce/coalesce=on", func(b *testing.B) { SmallMsgCoalesce(b, true) }),
 		Run("DiskGroupCommit/writers=8", func(b *testing.B) { DiskGroupCommit(b, 8) }),
 		Run("DiskGroupCommit/writers=16", func(b *testing.B) { DiskGroupCommit(b, 16) }),
 		Run("PipelineE2E/n=12/single-clan", PipelineE2E),

@@ -359,6 +359,9 @@ func (n *Node) onVal(from types.NodeID, m *types.BcastMsg) {
 			// but do not store the payload.
 			m.Data = nil
 		} else {
+			// The payload outlives this handler (instance table), so it
+			// must not keep aliasing the pooled receive buffer.
+			m.DetachData()
 			in.payload = m.Data
 			in.hasPayload = true
 		}
@@ -672,6 +675,7 @@ func (n *Node) onPullRsp(from types.NodeID, m *types.BcastMsg) {
 	} else if !in.hasQuorumDigest || m.Digest != in.quorumDigest {
 		return // synthetic payloads match by declared digest
 	}
+	m.DetachData() // stored past the handler: stop aliasing the receive buffer
 	in.payload = m.Data
 	in.hasPayload = true
 	if in.pullTimer != nil {

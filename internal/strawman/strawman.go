@@ -161,7 +161,7 @@ func (l *Layer) Disseminate(payload *types.Block) {
 		payload.CreatedAt = int64(l.clk.Now())
 	}
 	l.clk.Charge(l.cfg.Costs.HashCost(payload.PayloadBytes()))
-	digest := payload.Digest()
+	digest := payload.DigestCached()
 	l.pendAgg[seq] = crypto.NewAggregator(l.cfg.N)
 	l.pendData[seq] = payload
 	l.pendDig[seq] = digest
@@ -206,7 +206,7 @@ func (l *Layer) onData(from types.NodeID, m *types.BcastMsg) {
 			return
 		}
 		l.clk.Charge(l.cfg.Costs.HashCost(b.PayloadBytes()))
-		if b.Digest() != m.Digest {
+		if b.DigestCached() != m.Digest {
 			return
 		}
 		blk = b

@@ -18,3 +18,27 @@ func BenchmarkMulticastEncodeOnce(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRxDecodeZeroCopy gates the zero-copy receive path: the zerocopy
+// sub-benchmark's allocs/op must be a small fraction (≤ 20%) of copying's —
+// pooled chunks and the vote arena replace a per-frame copy plus a per-vote
+// struct allocation.
+func BenchmarkRxDecodeZeroCopy(b *testing.B) {
+	for _, mode := range []string{"copying", "zerocopy"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			perfbench.RxDecodeZeroCopy(b, mode == "zerocopy")
+		})
+	}
+}
+
+// BenchmarkSmallMsgCoalesce gates sender-side coalescing: with coalescing on,
+// flushes/msg (writev syscalls per vote-sized message) must collapse well
+// below the one-syscall-per-frame baseline while the wire bytes stay
+// identical.
+func BenchmarkSmallMsgCoalesce(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run("coalesce="+mode, func(b *testing.B) {
+			perfbench.SmallMsgCoalesce(b, mode == "on")
+		})
+	}
+}

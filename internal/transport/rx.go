@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"clanbft/internal/types"
+)
+
+// rxChunk is the target size of a pooled receive chunk. One chunk absorbs
+// many small frames per Read syscall; a vote-heavy round decodes dozens of
+// messages out of a single pooled buffer with zero per-frame allocations.
+const rxChunk = 64 << 10
+
+// frameReader slices length-prefixed frames out of pooled, refcounted
+// receive chunks. It is the inbound half of the zero-copy path:
+//
+//   - The reader holds one reference on the current chunk and only ever
+//     appends new bytes at the fill offset, so slices already handed out
+//     (frames being alias-decoded, messages in flight to the mailbox) are
+//     never overwritten.
+//   - When a frame straddles the end of a chunk the unconsumed tail is
+//     copied into a fresh chunk and the old one is released; borrowers keep
+//     it alive until their messages are released. The copied tail bytes are
+//     the receive path's only steady-state copies and are charged to
+//     allocBytes (transport.rx_alloc_bytes).
+//   - Frames larger than a chunk get a dedicated buffer sized to the frame
+//     (beyond the pool's largest class this is a plain allocation, also
+//     charged to allocBytes).
+type frameReader struct {
+	r          io.Reader
+	buf        *types.RecvBuf
+	off        int // consume offset into buf
+	end        int // fill offset into buf
+	allocBytes *atomic.Uint64
+}
+
+func newFrameReader(r io.Reader, allocBytes *atomic.Uint64) *frameReader {
+	return &frameReader{r: r, buf: types.NewRecvBuf(rxChunk), allocBytes: allocBytes}
+}
+
+// next returns the body of the next frame, aliasing the current chunk, plus
+// the chunk itself for the decoder's Retain/Release bookkeeping. The slice
+// is valid until the reader or a borrowing message releases the chunk past
+// refcount zero. Errors (short read, zero or oversized length prefix) are
+// terminal: the caller must close the connection.
+func (fr *frameReader) next() ([]byte, *types.RecvBuf, error) {
+	if err := fr.ensure(4); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(fr.buf.Bytes()[fr.off:])
+	if n == 0 || n > maxFrame {
+		return nil, nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	fr.off += 4
+	if err := fr.ensure(int(n)); err != nil {
+		return nil, nil, err
+	}
+	frame := fr.buf.Bytes()[fr.off : fr.off+int(n) : fr.off+int(n)]
+	fr.off += int(n)
+	return frame, fr.buf, nil
+}
+
+// ensure buffers at least n contiguous unconsumed bytes, swapping to a fresh
+// chunk (tail-carry) when the current one cannot hold them.
+func (fr *frameReader) ensure(n int) error {
+	for fr.end-fr.off < n {
+		if need := fr.off + n; need > len(fr.buf.Bytes()) {
+			fr.swap(n)
+		}
+		m, err := fr.r.Read(fr.buf.Bytes()[fr.end:])
+		fr.end += m
+		if fr.end-fr.off >= n {
+			return nil
+		}
+		if err != nil {
+			if err == io.EOF && fr.end-fr.off > 0 {
+				return io.ErrUnexpectedEOF // mid-frame EOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// swap moves the unconsumed tail into a fresh chunk large enough for n bytes
+// and drops the reader's reference on the old one. The old chunk is never
+// reused in place: frames already decoded from it may still be borrowed.
+func (fr *frameReader) swap(n int) {
+	size := rxChunk
+	if n > size {
+		size = n // oversized frame: dedicated buffer
+		fr.allocBytes.Add(uint64(n))
+	}
+	fresh := types.NewRecvBuf(size)
+	tail := copy(fresh.Bytes(), fr.buf.Bytes()[fr.off:fr.end])
+	fr.allocBytes.Add(uint64(tail))
+	fr.buf.Release()
+	fr.buf, fr.off, fr.end = fresh, 0, tail
+}
+
+// close drops the reader's chunk reference. Borrowing messages still in
+// flight keep the chunk alive until the mailbox releases them.
+func (fr *frameReader) close() {
+	if fr.buf != nil {
+		fr.buf.Release()
+		fr.buf = nil
+	}
+}

@@ -43,13 +43,39 @@ type TCPEndpoint struct {
 
 	verify atomic.Pointer[verifyStage]
 
-	msgsSent    atomic.Uint64
-	bytesSent   atomic.Uint64
-	msgsRecv    atomic.Uint64
-	bytesRecv   atomic.Uint64
-	msgsDropped atomic.Uint64
-	vc          verifyCounters
+	// aliasDecode enables zero-copy (borrowing) decode on read loops;
+	// coalesce holds the writer-side batching knobs. Both default on.
+	aliasDecode atomic.Bool
+	coalesce    atomic.Pointer[CoalesceConfig]
+
+	msgsSent        atomic.Uint64
+	bytesSent       atomic.Uint64
+	msgsRecv        atomic.Uint64
+	bytesRecv       atomic.Uint64
+	msgsDropped     atomic.Uint64
+	rxAllocBytes    atomic.Uint64
+	coalescedFrames atomic.Uint64
+	flushes         atomic.Uint64
+	vc              verifyCounters
 }
+
+// CoalesceConfig tunes sender-side small-message coalescing. A writer that
+// finds multiple frames queued gathers them into one writev; gathering stops
+// at MaxFrames frames or once MaxBytes of frame payload are batched, and a
+// drained queue flushes immediately unless Window is set, in which case the
+// writer lingers up to Window for more frames before flushing. Wire bytes
+// are identical with coalescing on or off — every frame keeps its own length
+// prefix — only syscall boundaries change.
+type CoalesceConfig struct {
+	Enabled   bool
+	MaxBytes  int
+	MaxFrames int
+	Window    time.Duration
+}
+
+// defaultCoalesce flushes on queue drain (no added latency): vote bursts
+// collapse into one syscall while an idle queue still sends immediately.
+var defaultCoalesce = CoalesceConfig{Enabled: true, MaxBytes: 64 << 10, MaxFrames: 64}
 
 type peerConn struct {
 	out    chan *frame
@@ -80,10 +106,23 @@ func NewTCPEndpoint(self types.NodeID, addrs map[types.NodeID]string) (*TCPEndpo
 		accepted: map[net.Conn]struct{}{},
 	}
 	e.clock = &realClock{epoch: time.Now(), mb: e.mb}
+	e.aliasDecode.Store(true)
+	cfg := defaultCoalesce
+	e.coalesce.Store(&cfg)
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
 }
+
+// SetAliasDecode toggles zero-copy decoding on read loops. Call before
+// traffic arrives; with false, every inbound frame is decoded with full
+// copies (the pre-zero-copy behavior, kept for A/B tests and benchmarks).
+func (e *TCPEndpoint) SetAliasDecode(on bool) { e.aliasDecode.Store(on) }
+
+// SetCoalescing replaces the writer-side coalescing configuration. Call
+// before traffic arrives. SetCoalescing(CoalesceConfig{}) disables batching:
+// every frame costs its own writev.
+func (e *TCPEndpoint) SetCoalescing(cfg CoalesceConfig) { e.coalesce.Store(&cfg) }
 
 // Addr returns the endpoint's bound listen address (useful with ":0").
 func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
@@ -179,11 +218,14 @@ func (e *TCPEndpoint) enqueue(to types.NodeID, f *frame) {
 
 func (e *TCPEndpoint) Stats() Stats {
 	s := Stats{
-		MsgsSent:    e.msgsSent.Load(),
-		BytesSent:   e.bytesSent.Load(),
-		MsgsRecv:    e.msgsRecv.Load(),
-		BytesRecv:   e.bytesRecv.Load(),
-		MsgsDropped: e.msgsDropped.Load(),
+		MsgsSent:        e.msgsSent.Load(),
+		BytesSent:       e.bytesSent.Load(),
+		MsgsRecv:        e.msgsRecv.Load(),
+		BytesRecv:       e.bytesRecv.Load(),
+		MsgsDropped:     e.msgsDropped.Load(),
+		RxAllocBytes:    e.rxAllocBytes.Load(),
+		CoalescedFrames: e.coalescedFrames.Load(),
+		Flushes:         e.flushes.Load(),
 	}
 	e.vc.fill(&s)
 	s.HandlerQueue = uint64(e.mb.depth())
@@ -244,19 +286,26 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 		}
 	}()
 	backoff := reconnectBackoff
-	// hdr+scratch gather the 4-byte length header and the shared frame into
-	// one writev, so a frame costs a single syscall, the header can never be
-	// flushed in its own segment, and — because the frame bytes are shared
-	// with other peers' writers — they are never copied per peer. WriteTo
+	// Batch state lives outside the loop so steady-state flushes allocate
+	// nothing: hdrs holds every frame's 4-byte length prefix, scratch backs
+	// the net.Buffers gather list (header and shared frame bytes alternate),
+	// and one WriteTo turns the whole batch into a single writev. WriteTo
 	// consumes the Buffers value it is given (advancing it past its backing
-	// array), so each write appends into scratch's stable array and hands
-	// WriteTo an alias; reusing the consumed value instead would reallocate
-	// the two-element array on every frame.
-	// bufs itself lives outside the loop: WriteTo takes its address, which
-	// would otherwise heap-allocate a fresh slice header per frame.
-	var hdr [4]byte
-	scratch := make(net.Buffers, 0, 2)
-	var bufs net.Buffers
+	// array), so each flush appends into scratch's stable array and hands
+	// WriteTo an alias; the frame bytes themselves are shared with other
+	// peers' writers and never copied per peer.
+	var (
+		batch   []*frame
+		hdrs    []byte
+		scratch net.Buffers
+		bufs    net.Buffers
+	)
+	releaseBatch := func() {
+		for _, fb := range batch {
+			fb.release()
+		}
+		batch = batch[:0]
+	}
 	// sleepBackoff waits out the current (jittered) backoff, doubling it
 	// for next time; it returns false when the peer entry was closed.
 	sleepBackoff := func() bool {
@@ -275,11 +324,45 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 		case <-p.closed:
 			return
 		case f := <-p.out:
+			cfg := e.coalesce.Load()
+			batch = append(batch[:0], f)
+			bytes := len(f.b)
+			// Gather: greedily drain queued frames into the batch. Stop at
+			// the frame/byte caps or when the queue runs dry — unless a
+			// flush window is configured, in which case linger once for up
+			// to Window so trickling small messages still coalesce.
+			lingered := false
+		gather:
+			for cfg.Enabled && len(batch) < cfg.MaxFrames && bytes < cfg.MaxBytes {
+				select {
+				case f2 := <-p.out:
+					batch = append(batch, f2)
+					bytes += len(f2.b)
+				default:
+					if cfg.Window <= 0 || lingered {
+						break gather
+					}
+					lingered = true
+					t := time.NewTimer(cfg.Window)
+					select {
+					case f2 := <-p.out:
+						t.Stop()
+						batch = append(batch, f2)
+						bytes += len(f2.b)
+					case <-t.C:
+						break gather
+					case <-p.closed:
+						t.Stop()
+						releaseBatch()
+						return
+					}
+				}
+			}
 			for conn == nil {
 				c, err := net.DialTimeout("tcp", e.addrs[id], 2*time.Second)
 				if err != nil {
 					if !sleepBackoff() {
-						f.release()
+						releaseBatch()
 						return
 					}
 					continue
@@ -295,7 +378,7 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 				if _, err := c.Write(hello[:]); err != nil {
 					c.Close()
 					if !sleepBackoff() {
-						f.release()
+						releaseBatch()
 						return
 					}
 					continue
@@ -304,24 +387,38 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 				backoff = reconnectBackoff
 			}
 			// A peer that stops reading must not wedge the writer
-			// forever: bound each frame write.
+			// forever: bound each flush.
 			if err := conn.SetWriteDeadline(time.Now().Add(30 * time.Second)); err != nil {
 				// Connection already unusable (closed underfoot).
-				e.msgsDropped.Add(1)
+				e.msgsDropped.Add(uint64(len(batch)))
 				conn.Close()
 				conn = nil
-				f.release()
+				releaseBatch()
 				continue
 			}
-			binary.BigEndian.PutUint32(hdr[:], uint32(len(f.b)))
-			bufs = append(scratch[:0], hdr[:], f.b)
+			// Headers first (appends may grow hdrs), then the gather list
+			// aliasing hdrs' now-stable backing array. The wire stream is
+			// byte-identical to writing each frame alone: every frame keeps
+			// its own length prefix, only syscall boundaries change.
+			hdrs = hdrs[:0]
+			for _, fb := range batch {
+				hdrs = binary.BigEndian.AppendUint32(hdrs, uint32(len(fb.b)))
+			}
+			bufs = scratch[:0]
+			for i, fb := range batch {
+				bufs = append(bufs, hdrs[4*i:4*i+4], fb.b)
+			}
+			scratch = bufs[:0]
 			if _, err := bufs.WriteTo(conn); err != nil {
-				// Write failed: drop the frame, reconnect on next send.
-				e.msgsDropped.Add(1)
+				// Flush failed: drop the whole batch, reconnect on next send.
+				e.msgsDropped.Add(uint64(len(batch)))
 				conn.Close()
 				conn = nil
+			} else {
+				e.flushes.Add(1)
+				e.coalescedFrames.Add(uint64(len(batch) - 1))
 			}
-			f.release()
+			releaseBatch()
 		}
 	}
 }
@@ -362,25 +459,28 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 	if _, ok := e.addrs[from]; !ok {
 		return // unknown peer
 	}
-	hdr := make([]byte, 4)
+	// Zero-copy receive: frames are sliced out of pooled chunks and decoded
+	// in place. Messages that borrow payload bytes retain the chunk; the
+	// mailbox releases them after their handler runs (types.ReleaseMsg), so
+	// a vote-heavy round costs zero per-frame allocations.
+	fr := newFrameReader(c, &e.rxAllocBytes)
+	defer fr.close()
+	dec := types.Decoder{Alias: e.aliasDecode.Load()}
 	for {
-		if _, err := io.ReadFull(c, hdr); err != nil {
+		frame, rb, err := fr.next()
+		if err != nil {
+			// Truncated header, out-of-range length prefix, or mid-frame
+			// EOF: the stream is unrecoverable — close the connection. The
+			// reader's deferred close returns its chunk; frames already
+			// dispatched keep theirs until released.
 			return
 		}
-		n := binary.BigEndian.Uint32(hdr)
-		if n == 0 || n > maxFrame {
-			return
-		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(c, frame); err != nil {
-			return
-		}
-		m, err := types.Decode(frame)
+		m, err := dec.DecodeFrom(rb, frame)
 		if err != nil {
 			continue // malformed message from a (possibly Byzantine) peer
 		}
 		e.msgsRecv.Add(1)
-		e.bytesRecv.Add(uint64(n))
+		e.bytesRecv.Add(uint64(len(frame)))
 		dispatchInbound(e.mb, e.verify.Load(), &e.vc, from, m)
 	}
 }

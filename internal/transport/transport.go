@@ -75,6 +75,21 @@ type Stats struct {
 	// failed socket write.
 	MsgsDropped uint64
 
+	// Zero-copy receive-path counters (TCP endpoints only; the channel and
+	// simulated networks never touch wire bytes).
+	//
+	// RxAllocBytes counts receive-side bytes that fell outside the steady
+	// pooled-chunk flow: tail bytes copied across a chunk swap plus
+	// dedicated buffers for frames larger than a chunk. Near-zero means the
+	// receive path ran copy-free.
+	RxAllocBytes uint64
+	// CoalescedFrames counts outbound frames that shared another frame's
+	// flush instead of costing their own syscall.
+	CoalescedFrames uint64
+	// Flushes counts writev syscalls issued by writer goroutines; with
+	// coalescing off it equals frames written.
+	Flushes uint64
+
 	// Verification-pipeline counters (zero unless a Verifier is installed).
 	VerifyQueued   uint64        // messages routed through the verify pool
 	VerifyRejected uint64        // messages dropped for bad signatures
@@ -165,12 +180,19 @@ func (m *mailbox) loop() {
 		h := m.handler
 		m.mu.Unlock()
 		if t.gate != nil && !<-t.gate {
-			continue // signature rejected by the verify pool
+			types.ReleaseMsg(t.msg) // signature rejected by the verify pool
+			continue
 		}
 		if t.fn != nil {
 			t.fn()
 		} else if h != nil {
 			h(t.from, t.msg)
+		}
+		// The handler is done with the message: return any receive buffer it
+		// borrows to the pool. Handlers that keep payload bytes must have
+		// deep-copied (Block.Detach / BcastMsg.DetachData) before returning.
+		if t.msg != nil {
+			types.ReleaseMsg(t.msg)
 		}
 	}
 }
@@ -180,8 +202,15 @@ func (m *mailbox) push(t task) {
 	if !m.closed {
 		m.queue = append(m.queue, t)
 		m.cond.Signal()
+		m.mu.Unlock()
+		return
 	}
 	m.mu.Unlock()
+	// Mailbox closed: the task will never run, so its message's borrowed
+	// receive buffer (if any) must be returned here.
+	if t.msg != nil {
+		types.ReleaseMsg(t.msg)
+	}
 }
 
 // depth returns the instantaneous queue length (intake backlog).

@@ -18,6 +18,9 @@ func collect(ep Endpoint) (*sync.Mutex, *[]types.Message) {
 	var mu sync.Mutex
 	var got []types.Message
 	ep.SetHandler(func(from types.NodeID, m types.Message) {
+		// The test keeps messages past the handler, so any payload borrowed
+		// from a pooled receive buffer must be copied out first.
+		types.DetachMsg(m)
 		mu.Lock()
 		got = append(got, m)
 		mu.Unlock()

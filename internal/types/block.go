@@ -27,10 +27,52 @@ type Block struct {
 	SynthSize  uint32
 	SynthSeed  uint64
 	CreatedAt  int64
+
+	// borrowed marks Txs as aliasing a pooled receive buffer (alias-mode
+	// decode). Detach must be called before the block outlives the buffer.
+	borrowed bool
+	// dig caches the digest. Valid only while the block is immutable, which
+	// protocol blocks are from creation (Detach preserves content).
+	dig *Hash
 }
 
 // IsSynthetic reports whether the payload is described rather than stored.
 func (b *Block) IsSynthetic() bool { return b.SynthCount > 0 }
+
+// DigestCached returns the digest, computing it at most once. Callers must
+// not mutate the block afterwards (Detach is fine: it preserves content).
+func (b *Block) DigestCached() Hash {
+	if b.dig == nil {
+		d := b.Digest()
+		b.dig = &d
+	}
+	return *b.dig
+}
+
+// Detach deep-copies Txs out of the pooled receive buffer the block was
+// alias-decoded from, into one fresh backing array. It must be called before
+// the block outlives its message handler (DAG/block-cache inserts, WAL
+// batches); it is a no-op for blocks that own their memory.
+func (b *Block) Detach() {
+	if !b.borrowed {
+		return
+	}
+	total := 0
+	for _, tx := range b.Txs {
+		total += len(tx)
+	}
+	backing := make([]byte, total)
+	off := 0
+	for i, tx := range b.Txs {
+		n := copy(backing[off:], tx)
+		b.Txs[i] = backing[off : off+n : off+n]
+		off += n
+	}
+	b.borrowed = false
+}
+
+// Borrowed reports whether Txs still alias a pooled receive buffer.
+func (b *Block) Borrowed() bool { return b.borrowed }
 
 // TxCount returns the number of transactions the block carries or describes.
 func (b *Block) TxCount() int {
@@ -95,8 +137,15 @@ func (b *Block) Marshal(buf []byte) []byte {
 	return buf
 }
 
-// UnmarshalBlock decodes a block and returns the remaining bytes.
+// UnmarshalBlock decodes a block and returns the remaining bytes. The block
+// owns its memory (transaction bytes are copied out of buf).
 func UnmarshalBlock(buf []byte) (*Block, []byte, error) {
+	return unmarshalBlock(buf, false)
+}
+
+// unmarshalBlock decodes a block; in alias mode the transaction slices
+// borrow from buf instead of copying, and the block is marked borrowed.
+func unmarshalBlock(buf []byte, alias bool) (*Block, []byte, error) {
 	b := &Block{}
 	var u uint64
 	var err error
@@ -142,11 +191,17 @@ func UnmarshalBlock(buf []byte) (*Block, []byte, error) {
 		if n > uint64(len(buf)) {
 			return nil, nil, fmt.Errorf("types: tx length %d exceeds buffer", n)
 		}
-		tx := make([]byte, n)
-		copy(tx, buf[:n])
+		var tx []byte
+		if alias {
+			tx = buf[:n:n]
+		} else {
+			tx = make([]byte, n)
+			copy(tx, buf[:n])
+		}
 		b.Txs = append(b.Txs, tx)
 		buf = buf[n:]
 	}
+	b.borrowed = alias && len(b.Txs) > 0
 	return b, buf, nil
 }
 

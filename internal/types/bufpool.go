@@ -3,6 +3,8 @@ package types
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Size-classed scratch buffers feeding Encode/Marshal. Encoding a message for
@@ -28,10 +30,20 @@ const (
 
 var bufPools [maxBufClass + 1]sync.Pool
 
+// bufGets/bufPuts count GetBuf and PutBuf calls. Every GetBuf must eventually
+// be balanced by exactly one PutBuf (directly, or through the last Release of
+// a refcounted frame/RecvBuf built on it); the pair therefore doubles as a
+// leak detector for the pooled-buffer ownership contract — see PoolCheck.
+var (
+	bufGets atomic.Uint64
+	bufPuts atomic.Uint64
+)
+
 // GetBuf returns a zero-length buffer with capacity >= size. Callers append
 // into it and hand it back with PutBuf when the encoded bytes are no longer
 // referenced anywhere.
 func GetBuf(size int) []byte {
+	bufGets.Add(1)
 	c := bufClass(size)
 	if c > maxBufClass {
 		return make([]byte, 0, size) // beyond the largest class: unpooled
@@ -50,6 +62,7 @@ func PutBuf(b []byte) {
 	if b == nil {
 		return
 	}
+	bufPuts.Add(1)
 	c := bits.Len(uint(cap(b))) - 1 // largest c with 1<<c <= cap(b)
 	if c < minBufClass {
 		return // too small to be worth pooling
@@ -67,4 +80,53 @@ func bufClass(size int) int {
 		return minBufClass
 	}
 	return bits.Len(uint(size - 1))
+}
+
+// ---------------------------------------------------------------------------
+// Pool leak checking.
+
+// PoolCheck snapshots the pool's Get/Put counters so a test harness can prove
+// that a run returned every buffer it took (no leaked frames or receive
+// buffers). Usage: pc := StartPoolCheck(); ...run...; pc.AssertBalanced(t).
+type PoolCheck struct {
+	gets, puts uint64
+}
+
+// StartPoolCheck records the current pool counters.
+func StartPoolCheck() *PoolCheck {
+	// Order matters: reading puts first can only under-count leaks, never
+	// fabricate one, if another goroutine is mid-cycle.
+	p := bufPuts.Load()
+	g := bufGets.Load()
+	return &PoolCheck{gets: g, puts: p}
+}
+
+// Outstanding returns buffers taken minus buffers returned since the
+// checkpoint. Zero means the ownership contract balanced.
+func (pc *PoolCheck) Outstanding() int64 {
+	g := bufGets.Load() - pc.gets
+	p := bufPuts.Load() - pc.puts
+	return int64(g) - int64(p)
+}
+
+// errorfer is the slice of testing.TB the checker needs (kept as a local
+// interface so this bottom-of-the-import-graph package stays testing-free).
+type errorfer interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// AssertBalanced fails t if buffers are still outstanding. Release paths may
+// run on goroutines that are only quiescing (mailbox drains, writer
+// shutdowns), so the check polls briefly before declaring a leak.
+func (pc *PoolCheck) AssertBalanced(t errorfer) {
+	t.Helper()
+	// ~500 ms worst case; a fixed short poll keeps tests fast and un-flaky.
+	for i := 0; i < 100; i++ {
+		if pc.Outstanding() == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("buffer pool leak: %d buffer(s) taken but never returned", pc.Outstanding())
 }

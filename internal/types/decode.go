@@ -1,0 +1,95 @@
+package types
+
+import "fmt"
+
+// voteArenaSize is the batch size for arena-allocated VoteMsg structs. Votes
+// are the highest-volume message class (2n per vertex per round), so the
+// decoder hands out slots from blocks of this many structs: one allocation
+// amortized over 64 messages instead of one per message.
+const voteArenaSize = 64
+
+// Decoder parses framed messages with optional zero-copy aliasing. A Decoder
+// belongs to a single read loop (it is not safe for concurrent use); its
+// arena amortizes vote allocations and, with Alias set, payload-bearing
+// messages borrow their byte slices from the caller's receive buffer instead
+// of copying.
+type Decoder struct {
+	// Alias enables borrow-mode decoding: Block.Txs and BcastMsg.Data slices
+	// point into the frame, and the decoded message retains the RecvBuf until
+	// ReleaseMsg. With Alias false DecodeFrom behaves exactly like Decode.
+	Alias bool
+
+	votes []VoteMsg
+	nv    int
+}
+
+// nextVote hands out a zeroed VoteMsg slot from the arena.
+func (d *Decoder) nextVote() *VoteMsg {
+	if d.nv == len(d.votes) {
+		d.votes = make([]VoteMsg, voteArenaSize)
+		d.nv = 0
+	}
+	m := &d.votes[d.nv]
+	d.nv++
+	*m = VoteMsg{} // slots are fresh from make, but keep the contract explicit
+	return m
+}
+
+// DecodeFrom parses the framed message in b, which must alias rb's bytes.
+// When the decoded message borrows slices from the frame (alias mode only),
+// it retains rb; the dispatch layer releases it via ReleaseMsg after the
+// handler returns. rb may be nil when Alias is false.
+func (d *Decoder) DecodeFrom(rb *RecvBuf, b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("types: empty message")
+	}
+	kind, body := MsgKind(b[0]), b[1:]
+	alias := d.Alias
+	switch kind {
+	case KindEcho, KindReady:
+		m := d.nextVote()
+		if err := unmarshalVoteInto(m, body, kind); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindVal:
+		m, err := unmarshalVal(body, alias)
+		if err != nil {
+			return nil, err
+		}
+		if m.Block != nil && m.Block.borrowed {
+			m.attachFrame(rb)
+		}
+		return m, nil
+	case KindBlockRsp:
+		m, err := unmarshalBlockRsp(body, alias)
+		if err != nil {
+			return nil, err
+		}
+		if m.Block != nil && m.Block.borrowed {
+			m.attachFrame(rb)
+		}
+		return m, nil
+	case KindVtxRsp:
+		m, err := unmarshalVtxRsp(body, alias)
+		if err != nil {
+			return nil, err
+		}
+		if m.Block != nil && m.Block.borrowed {
+			m.attachFrame(rb)
+		}
+		return m, nil
+	case KindBVal, KindBEcho, KindBReady, KindBCert, KindBReq, KindBRsp:
+		m, err := unmarshalBcast(body, kind, alias)
+		if err != nil {
+			return nil, err
+		}
+		if alias && len(m.Data) > 0 {
+			m.attachFrame(rb)
+		}
+		return m, nil
+	default:
+		// Remaining kinds never alias; share the plain path.
+		return Decode(b)
+	}
+}

@@ -2,6 +2,7 @@ package types
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 )
 
@@ -46,7 +47,139 @@ func FuzzDecode(f *testing.F) {
 		if !bytes.Equal(re, Encode(m2, nil)) {
 			t.Fatal("encoding not canonical")
 		}
+		// Analytic sizing must track the real encoding for anything the
+		// decoder accepts (synthetic payloads are the documented exception:
+		// they describe bytes that are never marshaled).
+		if !syntheticMsg(m2) && m2.WireSize() != len(m2.Marshal(nil)) {
+			t.Fatalf("WireSize %d != marshal length %d", m2.WireSize(), len(m2.Marshal(nil)))
+		}
 	})
+}
+
+// syntheticMsg reports whether m describes payload bytes it does not carry
+// (simulation-only mode), where WireSize intentionally exceeds Marshal.
+func syntheticMsg(m Message) bool {
+	switch v := m.(type) {
+	case *ValMsg:
+		return v.Block != nil && v.Block.IsSynthetic()
+	case *BlockRspMsg:
+		return v.Block.IsSynthetic()
+	case *VtxRspMsg:
+		return v.Block != nil && v.Block.IsSynthetic()
+	case *BcastMsg:
+		return v.HasData && v.Data == nil && v.SynthSize > 0
+	}
+	return false
+}
+
+// TestWireSizeMatchesMarshal is the satellite property test for the
+// simulator's analytic sizing: for every message type under randomized
+// contents, WireSize() must equal len(Marshal(nil)). The discrete-event
+// simulator never encodes messages — it bills bandwidth by WireSize — so any
+// drift here silently skews every simulated experiment.
+func TestWireSizeMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	randHash := func() (h Hash) {
+		rng.Read(h[:])
+		return
+	}
+	randSig := func() (s SigBytes) {
+		rng.Read(s[:])
+		return
+	}
+	randAgg := func() AggSig {
+		bm := make([]byte, 1+rng.Intn(8))
+		rng.Read(bm)
+		var tag [32]byte
+		rng.Read(tag[:])
+		return AggSig{Tag: tag, Bitmap: bm}
+	}
+	randVertex := func() *Vertex {
+		v := &Vertex{
+			Round:       Round(rng.Uint64() >> rng.Intn(60)),
+			Source:      NodeID(rng.Intn(1 << 14)),
+			BlockDigest: randHash(),
+		}
+		for i := rng.Intn(4); i > 0; i-- {
+			v.StrongEdges = append(v.StrongEdges, VertexRef{
+				Round: v.Round - 1, Source: NodeID(rng.Intn(64)), Digest: randHash(),
+			})
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			v.WeakEdges = append(v.WeakEdges, VertexRef{
+				Round: Round(rng.Intn(5)), Source: NodeID(rng.Intn(64)), Digest: randHash(),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			tc := &TimeoutCert{Round: v.Round - 1, Agg: randAgg()}
+			v.TC = tc
+		}
+		if rng.Intn(2) == 0 {
+			v.NVC = &NoVoteCert{Round: v.Round - 1, Agg: randAgg()}
+		}
+		v.NormalizeEdges()
+		return v
+	}
+	randBlock := func() *Block {
+		b := &Block{
+			Round:     Round(rng.Uint64() >> rng.Intn(60)),
+			Source:    NodeID(rng.Intn(1 << 14)),
+			SynthSeed: rng.Uint64(),
+			CreatedAt: rng.Int63(),
+		}
+		for i := rng.Intn(5); i > 0; i-- {
+			tx := make([]byte, rng.Intn(300))
+			rng.Read(tx)
+			b.Txs = append(b.Txs, tx)
+		}
+		return b
+	}
+	randPos := func() Position {
+		return Position{Round: Round(rng.Uint64() >> rng.Intn(60)), Source: NodeID(rng.Intn(1 << 14))}
+	}
+
+	const iters = 400
+	for i := 0; i < iters; i++ {
+		var valBlock *Block
+		if rng.Intn(2) == 0 {
+			valBlock = randBlock()
+		}
+		bcast := &BcastMsg{
+			K: KindBVal, Sender: NodeID(rng.Intn(256)), Seq: rng.Uint64() >> rng.Intn(60),
+			Digest: randHash(), Voter: NodeID(rng.Intn(256)), Sig: randSig(),
+		}
+		if rng.Intn(2) == 0 {
+			bcast.HasData = true
+			bcast.Data = make([]byte, rng.Intn(500))
+			rng.Read(bcast.Data)
+		}
+		cert := &BcastMsg{
+			K: KindBCert, Sender: NodeID(rng.Intn(256)), Seq: rng.Uint64() >> rng.Intn(60),
+			Digest: randHash(), Voter: NodeID(rng.Intn(256)), Sig: randSig(), Agg: randAgg(),
+		}
+		msgs := []Message{
+			&ValMsg{Vertex: randVertex(), Block: valBlock, Sig: randSig()},
+			&VoteMsg{K: KindEcho, Pos: randPos(), Digest: randHash(), Voter: NodeID(rng.Intn(256)), Sig: randSig()},
+			&VoteMsg{K: KindReady, Pos: randPos(), Digest: randHash(), Voter: NodeID(rng.Intn(256)), Sig: randSig()},
+			&EchoCertMsg{Pos: randPos(), Digest: randHash(), Agg: randAgg()},
+			&BlockReqMsg{Pos: randPos(), Digest: randHash()},
+			&BlockRspMsg{Block: randBlock()},
+			&NoVoteMsg{NV: NoVote{Round: Round(rng.Intn(1 << 20)), Voter: NodeID(rng.Intn(256)), Sig: randSig()}},
+			&TimeoutMsg{TO: Timeout{Round: Round(rng.Intn(1 << 20)), Voter: NodeID(rng.Intn(256)), Sig: randSig()}},
+			&TCMsg{TC: TimeoutCert{Round: Round(rng.Intn(1 << 20)), Agg: randAgg()}},
+			&VtxReqMsg{Pos: randPos()},
+			&VtxRspMsg{Vertex: randVertex(), Block: valBlock},
+			bcast,
+			cert,
+		}
+		for _, m := range msgs {
+			enc := m.Marshal(nil)
+			if m.WireSize() != len(enc) {
+				t.Fatalf("iter %d: %T WireSize %d != marshal length %d (%#v)",
+					i, m, m.WireSize(), len(enc), m)
+			}
+		}
+	}
 }
 
 // FuzzUnmarshalVertex checks the vertex decoder in isolation.

@@ -56,7 +56,7 @@ func Decode(b []byte) (Message, error) {
 	)
 	switch kind {
 	case KindVal:
-		m, err = unmarshalVal(body)
+		m, err = unmarshalVal(body, false)
 	case KindEcho:
 		m, err = unmarshalVote(body, KindEcho)
 	case KindReady:
@@ -66,7 +66,7 @@ func Decode(b []byte) (Message, error) {
 	case KindBlockReq:
 		m, err = unmarshalBlockReq(body)
 	case KindBlockRsp:
-		m, err = unmarshalBlockRsp(body)
+		m, err = unmarshalBlockRsp(body, false)
 	case KindNoVote:
 		m, err = unmarshalNoVote(body)
 	case KindTimeout:
@@ -76,13 +76,37 @@ func Decode(b []byte) (Message, error) {
 	case KindVtxReq:
 		m, err = unmarshalVtxReq(body)
 	case KindVtxRsp:
-		m, err = unmarshalVtxRsp(body)
+		m, err = unmarshalVtxRsp(body, false)
 	case KindBVal, KindBEcho, KindBReady, KindBCert, KindBReq, KindBRsp:
-		m, err = unmarshalBcast(body, kind)
+		m, err = unmarshalBcast(body, kind, false)
 	default:
 		return nil, fmt.Errorf("types: unknown message kind %d", kind)
 	}
 	return m, err
+}
+
+// DetachMsg deep-copies any payload bytes of m that alias a pooled receive
+// buffer (see Decoder's alias mode), making the message safe to hold past
+// its handler. It is the generic escape hatch over Block.Detach and
+// BcastMsg.DetachData; a no-op for owned or non-borrowing messages. The
+// buffer itself is still released by the dispatch layer (ReleaseMsg).
+func DetachMsg(m Message) {
+	switch v := m.(type) {
+	case *ValMsg:
+		if v.Block != nil {
+			v.Block.Detach()
+		}
+	case *BlockRspMsg:
+		if v.Block != nil {
+			v.Block.Detach()
+		}
+	case *VtxRspMsg:
+		if v.Block != nil {
+			v.Block.Detach()
+		}
+	case *BcastMsg:
+		v.DetachData()
+	}
 }
 
 // ValMsg is the first message of the merged RBC: the vertex goes to the whole
@@ -90,6 +114,7 @@ func Decode(b []byte) (Message, error) {
 // covers the vertex digest, binding the proposal to its sender.
 type ValMsg struct {
 	VerifyMark
+	Borrowed
 	Vertex *Vertex
 	Block  *Block // nil outside the clan
 	Sig    SigBytes
@@ -116,7 +141,7 @@ func (m *ValMsg) WireSize() int {
 	return n
 }
 
-func unmarshalVal(b []byte) (*ValMsg, error) {
+func unmarshalVal(b []byte, alias bool) (*ValMsg, error) {
 	v, b, err := UnmarshalVertex(b)
 	if err != nil {
 		return nil, err
@@ -128,7 +153,7 @@ func unmarshalVal(b []byte) (*ValMsg, error) {
 	hasBlock := b[0] == 1
 	b = b[1:]
 	if hasBlock {
-		if m.Block, b, err = UnmarshalBlock(b); err != nil {
+		if m.Block, b, err = unmarshalBlock(b, alias); err != nil {
 			return nil, err
 		}
 	}
@@ -167,30 +192,40 @@ func (m *VoteMsg) WireSize() int {
 }
 
 func unmarshalVote(b []byte, k MsgKind) (*VoteMsg, error) {
-	m := &VoteMsg{K: k}
+	m := &VoteMsg{}
+	if err := unmarshalVoteInto(m, b, k); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// unmarshalVoteInto decodes into caller-provided storage, letting the
+// Decoder batch-allocate vote structs (the highest-volume message class).
+func unmarshalVoteInto(m *VoteMsg, b []byte, k MsgKind) error {
+	m.K = k
 	u, b, err := Uvarint(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Pos.Round = Round(u)
 	if u, b, err = Uvarint(b); err != nil {
-		return nil, err
+		return err
 	}
 	m.Pos.Source = NodeID(u)
 	if len(b) < 32 {
-		return nil, fmt.Errorf("types: short vote digest")
+		return fmt.Errorf("types: short vote digest")
 	}
 	copy(m.Digest[:], b[:32])
 	b = b[32:]
 	if u, b, err = Uvarint(b); err != nil {
-		return nil, err
+		return err
 	}
 	m.Voter = NodeID(u)
 	if len(b) != 64 {
-		return nil, fmt.Errorf("types: vote sig length %d", len(b))
+		return fmt.Errorf("types: vote sig length %d", len(b))
 	}
 	copy(m.Sig[:], b)
-	return m, nil
+	return nil
 }
 
 // EchoCertMsg carries EC_r(m): an aggregate over 2f+1 ECHO votes with at
@@ -275,6 +310,7 @@ func unmarshalBlockReq(b []byte) (*BlockReqMsg, error) {
 
 // BlockRspMsg answers a BlockReqMsg.
 type BlockRspMsg struct {
+	Borrowed
 	Block *Block
 }
 
@@ -284,8 +320,8 @@ func (m *BlockRspMsg) Marshal(b []byte) []byte { return m.Block.Marshal(b) }
 
 func (m *BlockRspMsg) WireSize() int { return m.Block.WireSize() }
 
-func unmarshalBlockRsp(b []byte) (*BlockRspMsg, error) {
-	blk, _, err := UnmarshalBlock(b)
+func unmarshalBlockRsp(b []byte, alias bool) (*BlockRspMsg, error) {
+	blk, _, err := unmarshalBlock(b, alias)
 	if err != nil {
 		return nil, err
 	}
@@ -430,6 +466,7 @@ func unmarshalVtxReq(b []byte) (*VtxReqMsg, error) {
 // VtxRspMsg answers a VtxReqMsg with the vertex and, when the requester is
 // entitled to it and the responder holds it, the block.
 type VtxRspMsg struct {
+	Borrowed
 	Vertex *Vertex
 	Block  *Block // nil unless available and the requester is a clan member
 }
@@ -453,7 +490,7 @@ func (m *VtxRspMsg) WireSize() int {
 	return n
 }
 
-func unmarshalVtxRsp(b []byte) (*VtxRspMsg, error) {
+func unmarshalVtxRsp(b []byte, alias bool) (*VtxRspMsg, error) {
 	v, b, err := UnmarshalVertex(b)
 	if err != nil {
 		return nil, err
@@ -463,7 +500,7 @@ func unmarshalVtxRsp(b []byte) (*VtxRspMsg, error) {
 		return nil, fmt.Errorf("types: short vtxrsp flag")
 	}
 	if b[0] == 1 {
-		if m.Block, _, err = UnmarshalBlock(b[1:]); err != nil {
+		if m.Block, _, err = unmarshalBlock(b[1:], alias); err != nil {
 			return nil, err
 		}
 	}
@@ -483,6 +520,7 @@ func unmarshalVtxRsp(b []byte) (*VtxRspMsg, error) {
 //	KindBRsp:   pull response, Data = payload
 type BcastMsg struct {
 	VerifyMark
+	Borrowed
 	K       MsgKind
 	Sender  NodeID // instance sender
 	Seq     uint64 // instance sequence number (round)
@@ -499,6 +537,18 @@ type BcastMsg struct {
 }
 
 func (m *BcastMsg) Kind() MsgKind { return m.K }
+
+// DetachData deep-copies Data out of the pooled receive buffer the message
+// was alias-decoded from. Handlers that store the payload past their own
+// return (the RBC instance table) must call it first; the buffer itself is
+// still released by the dispatch layer.
+func (m *BcastMsg) DetachData() {
+	if m.BorrowsFrame() && len(m.Data) > 0 {
+		d := make([]byte, len(m.Data))
+		copy(d, m.Data)
+		m.Data = d
+	}
+}
 
 func (m *BcastMsg) Marshal(b []byte) []byte {
 	b = PutUvarint(b, uint64(m.Sender))
@@ -534,7 +584,7 @@ func (m *BcastMsg) WireSize() int {
 	return n
 }
 
-func unmarshalBcast(b []byte, k MsgKind) (*BcastMsg, error) {
+func unmarshalBcast(b []byte, k MsgKind, alias bool) (*BcastMsg, error) {
 	m := &BcastMsg{K: k}
 	u, b, err := Uvarint(b)
 	if err != nil {
@@ -558,8 +608,12 @@ func unmarshalBcast(b []byte, k MsgKind) (*BcastMsg, error) {
 		return nil, fmt.Errorf("types: bcast data length %d exceeds buffer", n)
 	}
 	if n > 0 {
-		m.Data = make([]byte, n)
-		copy(m.Data, b[:n])
+		if alias {
+			m.Data = b[:n:n]
+		} else {
+			m.Data = make([]byte, n)
+			copy(m.Data, b[:n])
+		}
 	}
 	b = b[n:]
 	if u, b, err = Uvarint(b); err != nil {
