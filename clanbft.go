@@ -97,6 +97,13 @@ type Options struct {
 	// callbacks inline on the handler goroutine, where they must not
 	// block.
 	ExecQueue int
+	// ExecWorkers is the worker count for parallel execution engines
+	// created via NewParallelExecutor (0 = GOMAXPROCS, 1 = serial). The
+	// engine executes dependency-independent transactions concurrently
+	// while producing bit-identical state to serial execution; pair it
+	// with OnCommitBatch and ExecQueue > 0 so batches form behind the
+	// async exec stage.
+	ExecWorkers int
 	// StoreDir persists consensus state under this directory (one
 	// subdirectory per node); empty keeps everything in memory.
 	StoreDir string
@@ -143,18 +150,19 @@ func PlanMultiClanFailure(n, q int) float64 {
 // embed replicated state machines, for tests, and for the examples; use
 // NewTCPNode for multi-process deployments.
 type Cluster struct {
-	opts         Options
-	net          *transport.ChanNet
-	nodes        []*core.Node
-	pools        []*mempool.Pool
-	clans        [][]types.NodeID
-	keys         []crypto.KeyPair
-	reg          *crypto.Registry
-	stores       []store.Store
-	vpool        *crypto.VerifyPool
-	onCommit     [][]func(Commit)
-	started      bool
-	submitCursor int
+	opts          Options
+	net           *transport.ChanNet
+	nodes         []*core.Node
+	pools         []*mempool.Pool
+	clans         [][]types.NodeID
+	keys          []crypto.KeyPair
+	reg           *crypto.Registry
+	stores        []store.Store
+	vpool         *crypto.VerifyPool
+	onCommit      [][]func(Commit)
+	onCommitBatch [][]func([]Commit)
+	started       bool
+	submitCursor  int
 }
 
 // NewCluster builds (but does not start) an in-process cluster.
@@ -163,11 +171,12 @@ func NewCluster(o Options) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		opts:     o,
-		net:      transport.NewChanNet(o.N, 0),
-		keys:     crypto.GenerateKeys(o.N, uint64(o.Seed)+1),
-		onCommit: make([][]func(Commit), o.N),
-		pools:    make([]*mempool.Pool, o.N),
+		opts:          o,
+		net:           transport.NewChanNet(o.N, 0),
+		keys:          crypto.GenerateKeys(o.N, uint64(o.Seed)+1),
+		onCommit:      make([][]func(Commit), o.N),
+		onCommitBatch: make([][]func([]Commit), o.N),
+		pools:         make([]*mempool.Pool, o.N),
 	}
 	c.reg = crypto.NewRegistry(c.keys, !o.NoCheckSigs)
 
@@ -218,9 +227,19 @@ func NewCluster(o Options) (*Cluster, error) {
 			RoundTimeout:    o.RoundTimeout,
 			VerifyCores:     verifyCores,
 			ExecQueue:       o.ExecQueue,
-			Deliver: func(cv core.CommittedVertex) {
-				for _, fn := range c.onCommit[i] {
-					fn(cv)
+			// Batch delivery: per-commit callbacks see each vertex in
+			// order, then batch callbacks get the whole consecutive
+			// run (with ExecQueue > 0 a run is everything queued since
+			// the previous delivery — the parallel execution engine's
+			// cross-block window).
+			DeliverBatch: func(cvs []core.CommittedVertex) {
+				for _, cv := range cvs {
+					for _, fn := range c.onCommit[i] {
+						fn(cv)
+					}
+				}
+				for _, fn := range c.onCommitBatch[i] {
+					fn(cvs)
 				}
 			},
 		}, c.net.Endpoint(id), c.net.Clock(id))
@@ -243,6 +262,20 @@ func (c *Cluster) OnCommit(i int, fn func(Commit)) {
 		panic("clanbft: OnCommit after Start")
 	}
 	c.onCommit[i] = append(c.onCommit[i], fn)
+}
+
+// OnCommitBatch registers a callback receiving node i's total order in
+// consecutive runs. Must be called before Start. With ExecQueue > 0 each
+// call carries every vertex committed since the previous delivery — the
+// window a ParallelExecutor parallelizes across — otherwise every batch is
+// a singleton. How the order partitions into batches is timing-dependent;
+// only the concatenation is deterministic. The slice is reused: do not
+// retain it past the call.
+func (c *Cluster) OnCommitBatch(i int, fn func([]Commit)) {
+	if c.started {
+		panic("clanbft: OnCommitBatch after Start")
+	}
+	c.onCommitBatch[i] = append(c.onCommitBatch[i], fn)
 }
 
 // Start launches every node.

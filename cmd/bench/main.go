@@ -13,14 +13,15 @@
 //	bench -exp sec62     # Section 6.2 concrete probabilities
 //	bench -exp comm      # communication-complexity accounting
 //	bench -exp ablate    # single-clan throughput vs clan size
-//	bench -exp micro     # transport/WAL/pipeline micro-benchmarks -> BENCH_PR5.json
+//	bench -exp micro     # transport/WAL/pipeline/parallel-exec micro-benchmarks -> BENCH_PR6.json
 //	bench -exp chaos     # seeded mixed-fault property runner (safety+liveness)
 //	bench -exp all       # every simulator experiment (micro/chaos run only when named)
 //
 // -baseline compares -exp micro results against a checked-in JSON artifact
 // and fails on regressions beyond tolerance: allocs/op and fsyncs/op must
-// not rise more than 20%, end-to-end commits/sec must not fall below 80% of
-// baseline (the CI bench-regression gate). -chaos-scenarios sets the seeds
+// not rise more than 20%, end-to-end commits/sec and the parallel execution
+// engine's tx/s must not fall below 80% of baseline (the CI bench-regression
+// gate). -chaos-scenarios sets the seeds
 // swept per clan mode for -exp chaos; -seed is the first seed.
 //
 // -metrics prints the merged per-stage pipeline metrics snapshot (queue
@@ -54,7 +55,7 @@ func main() {
 		quick = flag.Bool("quick", false, "short windows and fewer load points")
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
-		mout  = flag.String("micro-out", "BENCH_PR5.json", "output path for -exp micro results")
+		mout  = flag.String("micro-out", "BENCH_PR6.json", "output path for -exp micro results")
 		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, commits/sec)")
 		nchao = flag.Int("chaos-scenarios", 10, "seeds per clan mode for -exp chaos")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")

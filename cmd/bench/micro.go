@@ -9,8 +9,9 @@ import (
 )
 
 // runMicro executes the PR's gating micro-benchmarks (encode-once multicast,
-// zero-copy receive, small-message coalescing, group-commit WAL) and writes
-// the results as JSON. The artifact records ns/op and allocs/op per
+// zero-copy receive, small-message coalescing, group-commit WAL, end-to-end
+// pipeline, and the parallel execution engine's tx/s-vs-dependency-rate
+// sweep) and writes the results as JSON. The artifact records ns/op and allocs/op per
 // benchmark, plus extra metrics such as fsyncs/op and flushes/msg, so the
 // encode-once (allocs/op flat across peer counts), zero-copy (rx allocs/op a
 // small fraction of the copying path), coalescing (flushes/msg well under
@@ -104,6 +105,13 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 		}
 		if want, ok := b.Extra["commits/sec"]; ok {
 			checkMin(r.Name, "commits/sec", r.Extra["commits/sec"], want)
+		}
+		if want, ok := b.Extra["tx/s"]; ok {
+			// The parallel execution engine's throughput. The validation
+			// cost is sleep-modeled, so the rate is stable across runners;
+			// the 80% floor catches a scheduling or leveling regression
+			// (losing parallelism entirely is a ~8x drop at conflict=0).
+			checkMin(r.Name, "tx/s", r.Extra["tx/s"], want)
 		}
 	}
 	if regressions > 0 {

@@ -4,6 +4,12 @@
 // operations to clan members and accepts each result once f_c+1 = 3
 // executors return matching signed responses — enough to guarantee at least
 // one honest executor stands behind the answer.
+//
+// Each clan member executes through the dependency-aware parallel engine:
+// committed batches form behind the async exec stage (ExecQueue), the engine
+// levels their conflict graph, and independent transactions run on
+// ExecWorkers workers — with responses and state bit-identical to serial
+// execution, so the f_c+1 matching-response guarantee is unaffected.
 package main
 
 import (
@@ -16,10 +22,12 @@ import (
 
 func main() {
 	cluster, err := clanbft.NewCluster(clanbft.Options{
-		N:        10,
-		Mode:     clanbft.ModeSingleClan,
-		ClanSize: 6,
-		Seed:     7,
+		N:           10,
+		Mode:        clanbft.ModeSingleClan,
+		ClanSize:    6,
+		Seed:        7,
+		ExecQueue:   64, // async exec stage: commit batches form behind it
+		ExecWorkers: 4,  // parallel engine width per clan member
 	})
 	if err != nil {
 		panic(err)
@@ -37,18 +45,15 @@ func main() {
 	collector.Accepted = func(tx clanbft.TxID, result []byte) {}
 
 	for _, id := range clan {
-		id := id
-		exec := cluster.NewExecutor(int(id))
-		exec.Emit = func(r clanbft.Response) {
+		eng := cluster.NewParallelExecutor(int(id))
+		eng.Executor().Emit = func(r clanbft.Response) {
 			// In a deployment this response travels to the client;
 			// here the "network" is a function call.
 			mu.Lock()
 			collector.Add(r)
 			mu.Unlock()
 		}
-		cluster.OnCommit(int(id), func(c clanbft.Commit) {
-			exec.Apply(c)
-		})
+		cluster.OnCommitBatch(int(id), eng.ApplyBatch)
 	}
 
 	cluster.Start()

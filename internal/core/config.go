@@ -126,6 +126,17 @@ type Config struct {
 	OnUnhandled func(from types.NodeID, m types.Message)
 	// Deliver receives the total order, one committed vertex at a time.
 	Deliver func(CommittedVertex)
+	// DeliverBatch, when non-nil, receives the total order in consecutive
+	// runs and takes precedence over Deliver. With an async exec stage
+	// (ExecQueue > 0) each invocation carries every vertex queued since
+	// the previous one — the hook that lets a dependency-aware execution
+	// engine parallelize across block boundaries. How the order is
+	// partitioned into batches is timing-dependent and NOT deterministic;
+	// only the concatenation of all batches is. Consumers must therefore
+	// be batch-partitioning-invariant, and must not retain the slice
+	// past the call (it is reused). In synchronous mode every batch is a
+	// singleton.
+	DeliverBatch func([]CommittedVertex)
 
 	// ExecQueue selects the execution/commit stage's handoff:
 	//
@@ -288,7 +299,11 @@ type Node struct {
 	mOrderLat     *metrics.Histogram
 	mExecDone     *metrics.Counter
 	mExecTxs      *metrics.Counter
-	mExecLat      *metrics.Histogram
+	mExecDeliver  *metrics.Histogram
+
+	// syncBatch is the single-element scratch synchronous-mode
+	// emitCommitted hands to DeliverBatch.
+	syncBatch [1]CommittedVertex
 
 	// Metrics is the legacy counter struct, retained as a compatibility
 	// view; PipelineSnapshot is the unified interface.
@@ -388,7 +403,7 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 	}
 	n.initMetrics()
 	if cfg.ExecQueue > 0 {
-		n.exec = newExecStage(cfg.Deliver, cfg.ExecQueue, n.reg)
+		n.exec = newExecStage(cfg.Deliver, cfg.DeliverBatch, cfg.ExecQueue, n.reg)
 	}
 	return n
 }
@@ -410,9 +425,16 @@ func (n *Node) initMetrics() {
 	n.mOrderCommits = reg.Counter(types.StageOrder.Metric("commits"))
 	n.mOrderVerts = reg.Counter(types.StageOrder.Metric("vertices"))
 	n.mOrderLat = reg.Histogram(types.StageOrder.Metric("latency"))
+	// The full exec metric schema is registered here, once, for BOTH
+	// wirings — the synchronous inline path and the async execStage share
+	// one set of names, so snapshots are comparable across modes.
+	// exec.queue_wait (push→dequeue) and exec.deliver (callback wall time)
+	// replace the old exec.latency, which conflated the two.
 	n.mExecDone = reg.Counter(types.StageExec.Metric("committed"))
 	n.mExecTxs = reg.Counter(types.StageExec.Metric("txs"))
-	n.mExecLat = reg.Histogram(types.StageExec.Metric("latency"))
+	reg.Histogram(types.StageExec.Metric("queue_wait"))
+	n.mExecDeliver = reg.Histogram(types.StageExec.Metric("deliver"))
+	reg.Counter(types.StageExec.Metric("backpressure"))
 	// Queue-depth gauges exist even before the first snapshot samples them.
 	reg.Gauge(types.StageExec.Metric("queue_depth"))
 	reg.OnSnapshot(func(s *metrics.Snapshot) {

@@ -198,8 +198,17 @@ func TestPipelineSnapshotCoversAllStages(t *testing.T) {
 		if _, ok := s.Gauges[st.Metric("queue_depth")]; !ok {
 			t.Errorf("snapshot missing %s", st.Metric("queue_depth"))
 		}
-		if s.Hist(st.Metric("latency")).Count == 0 {
-			t.Errorf("snapshot has no %s observations", st.Metric("latency"))
+		// The exec stage splits its latency into queue_wait + deliver;
+		// the other three stages keep a single latency histogram.
+		lat := st.Metric("latency")
+		if st == types.StageExec {
+			lat = st.Metric("deliver")
+			if s.Hist(st.Metric("queue_wait")).Count == 0 {
+				t.Errorf("snapshot has no %s observations", st.Metric("queue_wait"))
+			}
+		}
+		if s.Hist(lat).Count == 0 {
+			t.Errorf("snapshot has no %s observations", lat)
 		}
 	}
 	if s.Counter(types.StageIntake.Metric("msgs")) == 0 {

@@ -10,42 +10,73 @@ import (
 
 // Stage 4 of the commit pipeline: execution/commit. The ordering stage emits
 // a deterministic sequence of CommittedVertex values; this stage runs the
-// application's Deliver callback over them.
+// application's Deliver (or DeliverBatch) callback over them.
 //
 // Two wirings, selected by Config.ExecQueue:
 //
-//   - ExecQueue == 0: emitCommitted invokes Deliver inline on the serialized
-//     handler (the node's exec field is nil). Single-threaded tests and the
-//     discrete-event simulator default to this — results are visible the
-//     moment the handler returns.
+//   - ExecQueue == 0: emitCommitted invokes the callback inline on the
+//     serialized handler (the node's exec field is nil). Single-threaded
+//     tests and the discrete-event simulator default to this — results are
+//     visible the moment the handler returns.
 //   - ExecQueue > 0: emitCommitted hands the vertex to execStage, which runs
-//     Deliver on its own goroutine. The handoff NEVER blocks the handler:
-//     a bounded channel provides the fast path, and when it is full the
-//     vertex spills to an unbounded staging list (counted by
+//     the callback on its own goroutine. The handoff NEVER blocks the
+//     handler: a bounded channel provides the fast path, and when it is full
+//     the vertex spills to an unbounded staging ring (counted by
 //     exec.backpressure) that refills the channel as the executor drains.
 //     Commit order is preserved exactly; only timing decouples. Crucially
 //     the producer side takes no clock-dependent action, so under the
 //     discrete-event simulator the message schedule — and therefore the
 //     committed sequence — is identical whether the stage is sync or async.
 //
+// With DeliverBatch set, each wakeup of the exec goroutine drains everything
+// already queued (channel first, then spill — that is commit order) and
+// hands the run to the application in one call. How the order is partitioned
+// into batches depends on timing and is NOT deterministic; consumers must be
+// batch-partitioning-invariant (the parallel execution engine is: its output
+// depends only on the concatenation of its inputs).
+//
 // The stage is the only part of the node that runs application code, so it
 // measures with real wall time (time.Now), never the node's virtual clock —
 // the virtual clock is owned by the simulator goroutine and must not be read
 // from here (use CommittedVertex.OrderedAt for protocol-time measurements).
+//
+// Metrics: exec.queue_wait is push→dequeue time (scheduling delay — how far
+// execution lags ordering); exec.deliver is callback wall time (application
+// cost). The two were previously conflated in one exec.latency histogram,
+// which made a slow application indistinguishable from a backed-up queue.
 
 type execItem struct {
 	cv  CommittedVertex
 	enq time.Time
 }
 
-// execStage runs Deliver on a dedicated goroutine behind a bounded channel.
-type execStage struct {
-	deliver func(CommittedVertex)
-	ch      chan execItem
+const (
+	// spillRetainCap bounds the spill backing array kept across bursts.
+	// After a full drain, anything larger is released to the allocator —
+	// a burst-sized array would otherwise be pinned for the node's
+	// lifetime (along with nothing live in it, since entries are zeroed,
+	// but still megabytes of dead capacity after a large backlog).
+	spillRetainCap = 64
+	// spillCompactAt is the dead-prefix length that triggers mid-drain
+	// compaction when the prefix dominates the slice, so a long-lived
+	// partially-drained backlog cannot hold double its live footprint.
+	spillCompactAt = 1024
+)
 
-	mu        sync.Mutex
+// execStage runs the delivery callback on a dedicated goroutine behind a
+// bounded channel.
+type execStage struct {
+	deliver      func(CommittedVertex)
+	deliverBatch func([]CommittedVertex)
+	ch           chan execItem
+
+	mu sync.Mutex
+	// Spill ring: the live region is overflow[spillHead:]. push appends,
+	// popSpill advances spillHead and zeroes the slot; the backing array
+	// is released or compacted per spillRetainCap/spillCompactAt above.
+	overflow  []execItem
+	spillHead int
 	idle      sync.Cond
-	overflow  []execItem // spill ring; drained into ch in FIFO order
 	enqueued  uint64
 	completed uint64
 	stopped   bool
@@ -53,23 +84,32 @@ type execStage struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
+	// Reusable batch scratch, owned by the exec goroutine. cvs is the
+	// slice handed to deliverBatch; both are zeroed after each batch so
+	// delivered blocks are not pinned until the next wakeup.
+	batch []execItem
+	cvs   []CommittedVertex
+
 	depth *metrics.Gauge
 	spill *metrics.Counter
 	done  *metrics.Counter
 	txs   *metrics.Counter
-	lat   *metrics.Histogram
+	qwait *metrics.Histogram
+	dlat  *metrics.Histogram
 }
 
-func newExecStage(deliver func(CommittedVertex), queue int, reg *metrics.Registry) *execStage {
+func newExecStage(deliver func(CommittedVertex), deliverBatch func([]CommittedVertex), queue int, reg *metrics.Registry) *execStage {
 	e := &execStage{
-		deliver: deliver,
-		ch:      make(chan execItem, queue),
-		quit:    make(chan struct{}),
-		depth:   reg.Gauge(types.StageExec.Metric("queue_depth")),
-		spill:   reg.Counter(types.StageExec.Metric("backpressure")),
-		done:    reg.Counter(types.StageExec.Metric("committed")),
-		txs:     reg.Counter(types.StageExec.Metric("txs")),
-		lat:     reg.Histogram(types.StageExec.Metric("latency")),
+		deliver:      deliver,
+		deliverBatch: deliverBatch,
+		ch:           make(chan execItem, queue),
+		quit:         make(chan struct{}),
+		depth:        reg.Gauge(types.StageExec.Metric("queue_depth")),
+		spill:        reg.Counter(types.StageExec.Metric("backpressure")),
+		done:         reg.Counter(types.StageExec.Metric("committed")),
+		txs:          reg.Counter(types.StageExec.Metric("txs")),
+		qwait:        reg.Histogram(types.StageExec.Metric("queue_wait")),
+		dlat:         reg.Histogram(types.StageExec.Metric("deliver")),
 	}
 	e.idle.L = &e.mu
 	e.wg.Add(1)
@@ -85,7 +125,7 @@ func (e *execStage) push(cv CommittedVertex) {
 	e.mu.Lock()
 	e.enqueued++
 	e.depth.Set(int64(e.enqueued - e.completed))
-	if len(e.overflow) == 0 {
+	if e.spillLen() == 0 {
 		select {
 		case e.ch <- it:
 			e.mu.Unlock()
@@ -98,6 +138,54 @@ func (e *execStage) push(cv CommittedVertex) {
 	e.mu.Unlock()
 }
 
+// spillLen is the number of live spilled items. mu must be held.
+func (e *execStage) spillLen() int { return len(e.overflow) - e.spillHead }
+
+// popSpill removes and returns the oldest spilled item, zeroing its slot so
+// the delivered block is collectable immediately. mu must be held.
+func (e *execStage) popSpill() execItem {
+	it := e.overflow[e.spillHead]
+	e.overflow[e.spillHead] = execItem{}
+	e.spillHead++
+	switch {
+	case e.spillHead == len(e.overflow):
+		// Fully drained. Releasing an oversized backing array here is
+		// the actual fix for the historical leak: the previous
+		// implementation resliced (overflow = overflow[1:]), which
+		// keeps the whole burst-sized array reachable forever.
+		if cap(e.overflow) > spillRetainCap {
+			e.overflow = nil
+		} else {
+			e.overflow = e.overflow[:0]
+		}
+		e.spillHead = 0
+	case e.spillHead >= spillCompactAt && e.spillHead*2 >= len(e.overflow):
+		// The dead prefix dominates a still-live backlog: slide the
+		// live region down and zero the vacated tail.
+		n := copy(e.overflow, e.overflow[e.spillHead:])
+		tail := e.overflow[n:len(e.overflow)]
+		for i := range tail {
+			tail[i] = execItem{}
+		}
+		e.overflow = e.overflow[:n]
+		e.spillHead = 0
+	}
+	return it
+}
+
+// refillLocked moves spilled items into the channel, oldest first, until the
+// channel fills or the spill empties. mu must be held.
+func (e *execStage) refillLocked() {
+	for e.spillLen() > 0 {
+		select {
+		case e.ch <- e.overflow[e.spillHead]:
+			e.popSpill()
+		default:
+			return
+		}
+	}
+}
+
 func (e *execStage) loop() {
 	defer e.wg.Done()
 	for {
@@ -105,34 +193,84 @@ func (e *execStage) loop() {
 		case <-e.quit:
 			return
 		case it := <-e.ch:
-			e.run(it)
+			if e.deliverBatch != nil {
+				e.runBatch(it)
+			} else {
+				e.run(it)
+			}
 		}
 	}
 }
 
 func (e *execStage) run(it execItem) {
+	e.qwait.Observe(time.Since(it.enq))
+	start := time.Now()
 	if e.deliver != nil {
 		e.deliver(it.cv)
 	}
-	e.lat.Observe(time.Since(it.enq))
+	e.dlat.Observe(time.Since(start))
 	e.done.Inc()
 	if it.cv.Block != nil {
 		e.txs.Add(uint64(it.cv.Block.TxCount()))
 	}
-	e.mu.Lock()
-	e.completed++
-	e.depth.Set(int64(e.enqueued - e.completed))
-	// Refill the channel from the spill list, preserving FIFO order.
-	for len(e.overflow) > 0 {
+	e.finish(1)
+}
+
+// runBatch gathers every vertex already queued behind first — channel first,
+// then spill, which is exactly commit order (push only uses the channel while
+// the spill is empty, and only this goroutine refills the channel) — and
+// delivers the run in one DeliverBatch call.
+func (e *execStage) runBatch(first execItem) {
+	e.batch = append(e.batch[:0], first)
+drain:
+	for {
 		select {
-		case e.ch <- e.overflow[0]:
-			e.overflow[0] = execItem{}
-			e.overflow = e.overflow[1:]
+		case it := <-e.ch:
+			e.batch = append(e.batch, it)
 		default:
-			e.mu.Unlock()
-			return
+			break drain
 		}
 	}
+	e.mu.Lock()
+	for e.spillLen() > 0 {
+		e.batch = append(e.batch, e.popSpill())
+	}
+	e.mu.Unlock()
+
+	now := time.Now()
+	e.cvs = e.cvs[:0]
+	for i := range e.batch {
+		e.qwait.Observe(now.Sub(e.batch[i].enq))
+		e.cvs = append(e.cvs, e.batch[i].cv)
+	}
+	start := time.Now()
+	e.deliverBatch(e.cvs)
+	e.dlat.Observe(time.Since(start))
+	e.done.Add(uint64(len(e.batch)))
+	for i := range e.batch {
+		if b := e.batch[i].cv.Block; b != nil {
+			e.txs.Add(uint64(b.TxCount()))
+		}
+	}
+	n := uint64(len(e.batch))
+	for i := range e.cvs {
+		e.cvs[i] = CommittedVertex{}
+	}
+	e.cvs = e.cvs[:0]
+	for i := range e.batch {
+		e.batch[i] = execItem{}
+	}
+	e.batch = e.batch[:0]
+	e.finish(n)
+}
+
+// finish retires n delivered vertices: advances the completion counter,
+// refills the channel from the spill ring, and wakes flush waiters.
+func (e *execStage) finish(n uint64) {
+	e.mu.Lock()
+	e.completed += n
+	e.depth.Set(int64(e.enqueued - e.completed))
+	e.refillLocked()
 	if e.completed == e.enqueued {
 		e.idle.Broadcast()
 	}
@@ -150,7 +288,7 @@ func (e *execStage) flush() {
 	e.mu.Unlock()
 }
 
-// stop terminates the executor goroutine after its in-flight Deliver (if
+// stop terminates the executor goroutine after its in-flight delivery (if
 // any) returns. Queued-but-undelivered vertices are dropped.
 func (e *execStage) stop() {
 	e.mu.Lock()
@@ -173,10 +311,18 @@ func (n *Node) emitCommitted(cv CommittedVertex) {
 		return
 	}
 	start := time.Now()
-	if n.cfg.Deliver != nil {
+	switch {
+	case n.cfg.DeliverBatch != nil:
+		// Synchronous mode delivers batches of one: the batch contract
+		// promises only consecutive runs, and inline delivery makes
+		// every run a singleton.
+		n.syncBatch[0] = cv
+		n.cfg.DeliverBatch(n.syncBatch[:])
+		n.syncBatch[0] = CommittedVertex{}
+	case n.cfg.Deliver != nil:
 		n.cfg.Deliver(cv)
 	}
-	n.mExecLat.Observe(time.Since(start))
+	n.mExecDeliver.Observe(time.Since(start))
 	n.mExecDone.Inc()
 	if cv.Block != nil {
 		n.mExecTxs.Add(uint64(cv.Block.TxCount()))

@@ -20,6 +20,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"time"
 
 	"clanbft/internal/core"
 	"clanbft/internal/crypto"
@@ -73,6 +74,27 @@ func DecodeTx(b []byte) (Tx, bool) {
 	return t, true
 }
 
+// AccessSet names the keys a decoded transaction reads and writes — the
+// input to the parallel engine's conflict DAG (execution/parallel). Every
+// current op touches at most one key; nil means "none". Ops outside the
+// known set (bad op byte) access nothing: their result is a constant, so
+// they conflict with no one.
+type AccessSet struct {
+	Read  []byte
+	Write []byte
+}
+
+// Access extracts the transaction's read/write set.
+func (t Tx) Access() AccessSet {
+	switch t.Op {
+	case OpSet, OpDel:
+		return AccessSet{Write: t.Key}
+	case OpGet:
+		return AccessSet{Read: t.Key}
+	}
+	return AccessSet{}
+}
+
 // TxID identifies a transaction by content hash.
 type TxID = types.Hash
 
@@ -108,18 +130,26 @@ type Executor struct {
 	Self types.NodeID
 	Key  *crypto.KeyPair
 
-	state map[string][]byte
+	state *kvState
 	root  types.Hash
 	// Executed counts applied transactions.
 	Executed int
 	// Emit receives a signed response per executed transaction (nil to
 	// disable, e.g. for pure state-machine use).
 	Emit func(Response)
+	// ValidateCost models per-transaction validation work (VSCC-style
+	// signature checks, endorsement policy evaluation) for throughput
+	// experiments, exactly as the Fabric dependency-aware committer
+	// exemplar does with its simulated 500µs verify. It is spent inside
+	// ExecVersioned, so the parallel engine overlaps it across workers
+	// while the serial path pays it per transaction. Zero (the default)
+	// for production and correctness-test paths.
+	ValidateCost time.Duration
 }
 
 // NewExecutor creates an executor with an empty state.
 func NewExecutor(self types.NodeID, key *crypto.KeyPair) *Executor {
-	return &Executor{Self: self, Key: key, state: map[string][]byte{}}
+	return &Executor{Self: self, Key: key, state: newKVState()}
 }
 
 // StateRoot returns the current running root.
@@ -127,12 +157,11 @@ func (e *Executor) StateRoot() types.Hash { return e.root }
 
 // Get reads a key from local state (for serving reads outside consensus).
 func (e *Executor) Get(key []byte) ([]byte, bool) {
-	v, ok := e.state[string(key)]
-	return v, ok
+	return e.state.peek(key)
 }
 
 // Len returns the number of live keys.
-func (e *Executor) Len() int { return len(e.state) }
+func (e *Executor) Len() int { return e.state.length() }
 
 // Apply executes one committed vertex's block (if present). Vertices whose
 // blocks this party does not hold are skipped — they belong to other clans.
@@ -151,38 +180,75 @@ func (e *Executor) applyTx(raw []byte) {
 	if !ok {
 		result = []byte("ERR malformed")
 	} else {
-		switch tx.Op {
-		case OpSet:
-			e.state[string(tx.Key)] = append([]byte(nil), tx.Value...)
-			result = []byte("OK")
-		case OpGet:
-			result = append([]byte(nil), e.state[string(tx.Key)]...)
-		case OpDel:
-			delete(e.state, string(tx.Key))
-			result = []byte("OK")
-		default:
-			result = []byte(fmt.Sprintf("ERR op %d", tx.Op))
-		}
+		result, _ = e.ExecVersioned(tx, uint64(e.Executed)+1)
 	}
-	// Fold the transaction and its result into the running root.
+	r, emit := e.Seal(raw, result)
+	if emit {
+		e.SignResponse(&r)
+		e.Emit(r)
+	}
+}
+
+// ExecVersioned applies one decoded transaction to the shared state and
+// returns its result bytes. ver stamps writes with the transaction's 1-based
+// sequence number in the committed order (the serial path passes Executed+1;
+// the parallel engine passes batchBase+index+1, which is the same number by
+// construction). observed is the version of the value a read or overwrite
+// saw — 0 for a fresh/absent key — which the parallel engine cross-checks
+// against its conflict leveling.
+//
+// Safe for concurrent use on transactions with disjoint access sets; the
+// caller (the engine's level scheduler) guarantees disjointness. The root
+// fold does NOT happen here — call Seal afterwards, in committed order.
+func (e *Executor) ExecVersioned(t Tx, ver uint64) (result []byte, observed uint64) {
+	if e.ValidateCost > 0 {
+		time.Sleep(e.ValidateCost)
+	}
+	switch t.Op {
+	case OpSet:
+		observed = e.state.put(t.Key, append([]byte(nil), t.Value...), ver)
+		result = []byte("OK")
+	case OpGet:
+		result, observed = e.state.get(t.Key)
+	case OpDel:
+		observed = e.state.del(t.Key)
+		result = []byte("OK")
+	default:
+		result = []byte(fmt.Sprintf("ERR op %d", t.Op))
+	}
+	return result, observed
+}
+
+// Seal folds one executed transaction into the running root and counts it.
+// MUST be called exactly once per transaction, in committed order, from one
+// goroutine — the root chain is the serial spine of execution and is what
+// makes replica divergence detectable. Returns the unsigned response and
+// whether the caller should sign/emit it (Emit set).
+func (e *Executor) Seal(raw, result []byte) (Response, bool) {
 	h := sha256.New()
 	h.Write(e.root[:])
 	h.Write(raw)
 	h.Write(result)
 	copy(e.root[:], h.Sum(nil))
 	e.Executed++
+	if e.Emit == nil {
+		return Response{}, false
+	}
+	return Response{
+		Tx:        TxIDOf(raw),
+		Executor:  e.Self,
+		Result:    result,
+		StateRoot: e.root,
+	}, true
+}
 
-	if e.Emit != nil {
-		r := Response{
-			Tx:        TxIDOf(raw),
-			Executor:  e.Self,
-			Result:    result,
-			StateRoot: e.root,
-		}
-		if e.Key != nil {
-			r.Sig = crypto.Sign(e.Key, respCtx(&r))
-		}
-		e.Emit(r)
+// SignResponse signs a sealed response (no-op without a key). Ed25519 is
+// deterministic, so signing is order-independent and safe to parallelize —
+// the engine signs a whole batch's responses across workers and still emits
+// byte-identical responses to the serial path.
+func (e *Executor) SignResponse(r *Response) {
+	if e.Key != nil {
+		r.Sig = crypto.Sign(e.Key, respCtx(r))
 	}
 }
 
@@ -263,10 +329,7 @@ func (c *Collector) Result(tx TxID) ([]byte, bool) {
 // without replaying history from genesis. The encoding is deterministic
 // (sorted keys).
 func (e *Executor) Snapshot() []byte {
-	keys := make([]string, 0, len(e.state))
-	for k := range e.state {
-		keys = append(keys, k)
-	}
+	keys := e.state.keys()
 	sort.Strings(keys)
 	b := make([]byte, 0, 64)
 	b = append(b, e.root[:]...)
@@ -275,7 +338,7 @@ func (e *Executor) Snapshot() []byte {
 	for _, k := range keys {
 		b = types.PutUvarint(b, uint64(len(k)))
 		b = append(b, k...)
-		v := e.state[k]
+		v, _ := e.state.peek([]byte(k))
 		b = types.PutUvarint(b, uint64(len(v)))
 		b = append(b, v...)
 	}
@@ -311,19 +374,21 @@ func (e *Executor) Restore(snap []byte) bool {
 	if err != nil || cnt > uint64(len(b)) {
 		return false
 	}
-	state := make(map[string][]byte, cnt)
+	state := newKVState()
 	for i := uint64(0); i < cnt; i++ {
 		var kl uint64
 		if kl, b, err = types.Uvarint(b); err != nil || kl > uint64(len(b)) {
 			return false
 		}
-		k := string(b[:kl])
+		k := b[:kl]
 		b = b[kl:]
 		var vl uint64
 		if vl, b, err = types.Uvarint(b); err != nil || vl > uint64(len(b)) {
 			return false
 		}
-		state[k] = append([]byte(nil), b[:vl]...)
+		// Restored values carry version 0: the snapshot predates this
+		// executor's local sequence numbering.
+		state.put(k, append([]byte(nil), b[:vl]...), 0)
 		b = b[vl:]
 	}
 	if len(b) != 0 {

@@ -1,0 +1,252 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"clanbft/internal/core"
+	"clanbft/internal/crypto"
+	"clanbft/internal/execution"
+	"clanbft/internal/metrics"
+	"clanbft/internal/types"
+)
+
+// mkCV wraps raw transactions into one committed vertex.
+func mkCV(txs ...[]byte) core.CommittedVertex {
+	return core.CommittedVertex{Block: &types.Block{Txs: txs}}
+}
+
+// mixedWorkload builds a deterministic stream of blocks exercising every
+// op and the serial fallback: SETs and DELs over a contended key range,
+// GETs interleaved, unknown op codes, and undecodable garbage.
+func mixedWorkload(blocks, txsPerBlock, keySpace int) []core.CommittedVertex {
+	cvs := make([]core.CommittedVertex, 0, blocks)
+	h := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		return h
+	}
+	for b := 0; b < blocks; b++ {
+		var txs [][]byte
+		for i := 0; i < txsPerBlock; i++ {
+			r := next()
+			key := []byte(fmt.Sprintf("k%03d", r%uint64(keySpace)))
+			switch r % 10 {
+			case 0, 1, 2, 3:
+				val := make([]byte, 24)
+				binary.LittleEndian.PutUint64(val, r)
+				txs = append(txs, execution.EncodeTx(execution.Tx{Op: execution.OpSet, Key: key, Value: val}))
+			case 4, 5, 6:
+				txs = append(txs, execution.EncodeTx(execution.Tx{Op: execution.OpGet, Key: key}))
+			case 7:
+				txs = append(txs, execution.EncodeTx(execution.Tx{Op: execution.OpDel, Key: key}))
+			case 8:
+				// Unknown op: decodes, conflicts with nothing.
+				txs = append(txs, execution.EncodeTx(execution.Tx{Op: 99, Key: key}))
+			default:
+				// Undecodable: the serial-fallback barrier path.
+				txs = append(txs, []byte{byte(r)})
+			}
+		}
+		cvs = append(cvs, mkCV(txs...))
+	}
+	return cvs
+}
+
+// runSerial is the reference: the plain executor applied in order.
+func runSerial(cvs []core.CommittedVertex, key *crypto.KeyPair, emit func(execution.Response)) *execution.Executor {
+	ex := execution.NewExecutor(3, key)
+	ex.Emit = emit
+	for _, cv := range cvs {
+		ex.Apply(cv)
+	}
+	return ex
+}
+
+// TestParallelMatchesSerial: state root, snapshot, executed count, and the
+// full signed response stream must be byte-identical between the serial
+// executor and the engine at every worker count and batch partitioning.
+func TestParallelMatchesSerial(t *testing.T) {
+	cvs := mixedWorkload(6, 200, 17)
+	keys := crypto.GenerateKeys(4, 5)
+
+	var refResps []execution.Response
+	ref := runSerial(cvs, &keys[3], func(r execution.Response) { refResps = append(refResps, r) })
+	if ref.Executed == 0 {
+		t.Fatal("reference executed nothing")
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, batch := range []int{1, 2, len(cvs)} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batch), func(t *testing.T) {
+				ex := execution.NewExecutor(3, &keys[3])
+				var resps []execution.Response
+				ex.Emit = func(r execution.Response) { resps = append(resps, r) }
+				reg := metrics.New()
+				eng := New(ex, Config{Workers: workers, Metrics: reg})
+				for i := 0; i < len(cvs); i += batch {
+					end := i + batch
+					if end > len(cvs) {
+						end = len(cvs)
+					}
+					eng.ApplyBatch(cvs[i:end])
+				}
+				if ex.StateRoot() != ref.StateRoot() {
+					t.Fatalf("state root diverged: %x vs %x", ex.StateRoot(), ref.StateRoot())
+				}
+				if ex.Executed != ref.Executed {
+					t.Fatalf("executed %d txs, reference %d", ex.Executed, ref.Executed)
+				}
+				if !bytes.Equal(ex.Snapshot(), ref.Snapshot()) {
+					t.Fatal("state snapshots diverged")
+				}
+				if len(resps) != len(refResps) {
+					t.Fatalf("%d responses, reference %d", len(resps), len(refResps))
+				}
+				for i := range resps {
+					if resps[i].Tx != refResps[i].Tx || resps[i].StateRoot != refResps[i].StateRoot ||
+						!bytes.Equal(resps[i].Result, refResps[i].Result) || resps[i].Sig != refResps[i].Sig {
+						t.Fatalf("response %d diverged from serial reference", i)
+					}
+				}
+				s := reg.Snapshot()
+				if v := s.Counter("exec.conflict_violations"); v != 0 {
+					t.Fatalf("versioned apply detected %d conflict violations", v)
+				}
+				if workers > 1 && s.Counter("exec.parallel_txs") == 0 {
+					t.Error("no transactions took the parallel path")
+				}
+			})
+		}
+	}
+}
+
+// TestConflictHeavyDegradesToSerial: the adversarial workload — every
+// transaction writes the same key — must level into a chain (one tx per
+// level, level count == tx count) and still produce the serial result.
+func TestConflictHeavyDegradesToSerial(t *testing.T) {
+	var txs [][]byte
+	for i := 0; i < 300; i++ {
+		val := make([]byte, 8)
+		binary.LittleEndian.PutUint64(val, uint64(i))
+		txs = append(txs, execution.EncodeTx(execution.Tx{Op: execution.OpSet, Key: []byte("the-key"), Value: val}))
+	}
+	cvs := []core.CommittedVertex{mkCV(txs...)}
+
+	ref := runSerial(cvs, nil, nil)
+	reg := metrics.New()
+	ex := execution.NewExecutor(3, nil)
+	eng := New(ex, Config{Workers: 8, Metrics: reg})
+	eng.ApplyBatch(cvs)
+
+	if ex.StateRoot() != ref.StateRoot() {
+		t.Fatalf("state root diverged under full contention")
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("exec.levels"); got != uint64(len(txs)) {
+		t.Fatalf("expected %d levels (pure chain), got %d", len(txs), got)
+	}
+	if got := s.Counter("exec.conflicts"); got != uint64(len(txs)-1) {
+		t.Fatalf("expected %d conflicted txs, got %d", len(txs)-1, got)
+	}
+	if rate := s.Gauge("exec.conflict_rate"); rate < 9000 {
+		t.Fatalf("conflict_rate gauge %d bp, expected ~10000", rate)
+	}
+	if v, ok := ref.Get([]byte("the-key")); !ok || binary.LittleEndian.Uint64(v) != 299 {
+		t.Fatal("last write did not win")
+	}
+}
+
+// TestUndecodableBarrier: garbage transactions must serialize around their
+// position — everything before completes first, everything after sees a
+// consistent prefix — and yield the serial "ERR malformed" result.
+func TestUndecodableBarrier(t *testing.T) {
+	var txs [][]byte
+	val := []byte("v")
+	for i := 0; i < 50; i++ {
+		txs = append(txs, execution.EncodeTx(execution.Tx{Op: execution.OpSet, Key: []byte(fmt.Sprintf("a%02d", i)), Value: val}))
+	}
+	txs = append(txs, []byte{}) // undecodable
+	for i := 0; i < 50; i++ {
+		txs = append(txs, execution.EncodeTx(execution.Tx{Op: execution.OpGet, Key: []byte(fmt.Sprintf("a%02d", i))}))
+	}
+	cvs := []core.CommittedVertex{mkCV(txs...)}
+
+	var refResps, resps []execution.Response
+	ref := runSerial(cvs, nil, func(r execution.Response) { refResps = append(refResps, r) })
+	ex := execution.NewExecutor(3, nil)
+	ex.Emit = func(r execution.Response) { resps = append(resps, r) }
+	eng := New(ex, Config{Workers: 4})
+	eng.ApplyBatch(cvs)
+
+	if ex.StateRoot() != ref.StateRoot() {
+		t.Fatal("state root diverged around barrier")
+	}
+	if len(resps) != len(refResps) {
+		t.Fatalf("%d responses vs %d", len(resps), len(refResps))
+	}
+	if !bytes.Equal(resps[50].Result, []byte("ERR malformed")) {
+		t.Fatalf("barrier result %q", resps[50].Result)
+	}
+	for i := 51; i < len(resps); i++ {
+		if !bytes.Equal(resps[i].Result, val) {
+			t.Fatalf("read %d after barrier returned %q", i, resps[i].Result)
+		}
+	}
+}
+
+// TestEngineSkipsForeignAndSynthetic mirrors the executor's skip rule.
+func TestEngineSkipsForeignAndSynthetic(t *testing.T) {
+	ex := execution.NewExecutor(0, nil)
+	eng := New(ex, Config{Workers: 4})
+	eng.ApplyBatch([]core.CommittedVertex{
+		{Block: nil},
+		{Block: &types.Block{SynthCount: 10, SynthSize: 64}},
+	})
+	if ex.Executed != 0 || ex.StateRoot() != (types.Hash{}) {
+		t.Fatal("engine executed foreign/synthetic payloads")
+	}
+}
+
+// TestWorkloadDeterministicAndConflicting: the KV workload generator must
+// reproduce identical payloads for identical seeds and honor the conflict
+// knob at its extremes.
+func TestWorkloadDeterministicAndConflicting(t *testing.T) {
+	a := execution.NewWorkload(2, 100, 30, 7)
+	b := execution.NewWorkload(2, 100, 30, 7)
+	for r := types.Round(0); r < 5; r++ {
+		ba, bb := a.NextBlock(r), b.NextBlock(r)
+		if len(ba.Txs) != len(bb.Txs) {
+			t.Fatal("tx counts diverged")
+		}
+		for i := range ba.Txs {
+			if !bytes.Equal(ba.Txs[i], bb.Txs[i]) {
+				t.Fatal("same seed produced different payloads")
+			}
+		}
+	}
+
+	// ConflictPct=0 ⇒ unique keys ⇒ one level; 100 with one hot key ⇒ chain.
+	for _, tc := range []struct {
+		pct, hot  int
+		wantLvls  uint64
+		wantConfs bool
+	}{{0, 8, 1, false}, {100, 1, 400, true}} {
+		w := execution.NewWorkload(0, 400, tc.pct, 3)
+		w.HotKeys = tc.hot
+		reg := metrics.New()
+		eng := New(execution.NewExecutor(0, nil), Config{Workers: 4, Metrics: reg})
+		eng.ApplyBatch([]core.CommittedVertex{{Block: w.NextBlock(0)}})
+		s := reg.Snapshot()
+		if got := s.Counter("exec.levels"); got != tc.wantLvls {
+			t.Errorf("pct=%d: %d levels, want %d", tc.pct, got, tc.wantLvls)
+		}
+		if (s.Counter("exec.conflicts") > 0) != tc.wantConfs {
+			t.Errorf("pct=%d: conflicts=%d", tc.pct, s.Counter("exec.conflicts"))
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package execution
+
+import "sync"
+
+// Sharded, versioned key-value state. The serial executor could live with a
+// plain map, but the dependency-aware parallel engine (execution/parallel)
+// applies non-conflicting transactions from worker goroutines concurrently:
+// distinct keys may still collide on one Go map, so the state is split into
+// mutex-guarded shards keyed by a key hash. Every stored value carries the
+// sequence number of the transaction that wrote it — the "version" — which
+// is what lets the engine detect, at run time, a scheduling bug where two
+// same-level transactions touched one key (see Engine's conflict_violations
+// accounting). Versions never influence results or the state root; they are
+// purely a cross-check on the conflict leveling.
+const stateShards = 64
+
+type versioned struct {
+	val []byte
+	ver uint64 // sequence of the writing transaction (1-based)
+}
+
+type kvShard struct {
+	mu sync.Mutex
+	m  map[string]versioned
+}
+
+type kvState struct {
+	shards [stateShards]kvShard
+}
+
+func newKVState() *kvState {
+	s := &kvState{}
+	for i := range s.shards {
+		s.shards[i].m = map[string]versioned{}
+	}
+	return s
+}
+
+// shardOf hashes a key to its shard (FNV-1a).
+func (s *kvState) shardOf(key []byte) *kvShard {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return &s.shards[h%stateShards]
+}
+
+// get returns a copy of the stored value (nil when absent) plus the version
+// of the write it observed (0 = never written, or written before this
+// executor's history began). The copy happens under the shard lock, so a
+// mis-scheduled concurrent writer can corrupt determinism but never memory.
+func (s *kvState) get(key []byte) ([]byte, uint64) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.m[string(key)]
+	var val []byte
+	if ok {
+		val = append([]byte(nil), e.val...)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, 0
+	}
+	return val, e.ver
+}
+
+// peek reports whether the key exists without copying (read-your-state API).
+func (s *kvState) peek(key []byte) ([]byte, bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.m[string(key)]
+	sh.mu.Unlock()
+	return e.val, ok
+}
+
+// put stores val (already owned by the state — callers copy) stamped with
+// ver, returning the version it overwrote (0 for a fresh key).
+func (s *kvState) put(key, val []byte, ver uint64) uint64 {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	prev := sh.m[string(key)].ver
+	sh.m[string(key)] = versioned{val: val, ver: ver}
+	sh.mu.Unlock()
+	return prev
+}
+
+// del removes the key, returning the version it deleted (0 when absent).
+func (s *kvState) del(key []byte) uint64 {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	prev := sh.m[string(key)].ver
+	delete(sh.m, string(key))
+	sh.mu.Unlock()
+	return prev
+}
+
+// length counts live keys.
+func (s *kvState) length() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// keys lists every live key (unsorted; Snapshot sorts).
+func (s *kvState) keys() []string {
+	out := make([]string, 0, s.length())
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		for k := range s.shards[i].m {
+			out = append(out, k)
+		}
+		s.shards[i].mu.Unlock()
+	}
+	return out
+}

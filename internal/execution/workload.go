@@ -1,0 +1,87 @@
+package execution
+
+import (
+	"encoding/binary"
+
+	"clanbft/internal/types"
+)
+
+// Workload is a deterministic KV transaction generator implementing
+// core.BlockSource, built for the dependency-rate experiments: each proposal
+// carries TxPerProposal SET transactions, and each transaction's key is —
+// with probability ConflictPct percent — drawn from a small hot-key set
+// shared by every proposer (creating write-write dependency chains in the
+// committed order), otherwise globally unique (independent). ConflictPct=0
+// yields a fully parallelizable stream; ConflictPct=100 with HotKeys=1 is
+// the adversarial everything-conflicts workload that degrades the parallel
+// engine to serial execution.
+//
+// Generation is a pure function of (Seed, ID, round, index): replaying the
+// same seed reproduces every payload byte for byte, which the 1-vs-N-worker
+// determinism replay relies on.
+type Workload struct {
+	ID            types.NodeID
+	TxPerProposal int
+	ConflictPct   int
+	// HotKeys is the size of the shared contended key set (default 8).
+	HotKeys int
+	// ValueSize is the SET payload size in bytes (default 64).
+	ValueSize int
+	Seed      int64
+
+	seq uint64
+}
+
+// NewWorkload builds a generator for one proposer.
+func NewWorkload(id types.NodeID, txPerProposal, conflictPct int, seed int64) *Workload {
+	return &Workload{ID: id, TxPerProposal: txPerProposal, ConflictPct: conflictPct, Seed: seed}
+}
+
+// splitmix64 is the PRNG step — tiny, seedable, and stable across Go
+// versions (unlike math/rand's stream, which is not part of the repo's
+// determinism contract).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NextBlock produces the next proposal payload.
+func (w *Workload) NextBlock(r types.Round) *types.Block {
+	if w.TxPerProposal <= 0 {
+		return nil
+	}
+	hot := w.HotKeys
+	if hot <= 0 {
+		hot = 8
+	}
+	vs := w.ValueSize
+	if vs <= 0 {
+		vs = 64
+	}
+	w.seq++
+	b := &types.Block{}
+	for i := 0; i < w.TxPerProposal; i++ {
+		h := splitmix64(uint64(w.Seed)<<32 ^ uint64(w.ID)<<24 ^ w.seq<<10 ^ uint64(i))
+		var key []byte
+		if int(h%100) < w.ConflictPct {
+			// Contended: one of the shared hot keys.
+			key = []byte{'h', 'o', 't', byte((h >> 8) % uint64(hot))}
+		} else {
+			// Independent: unique per (proposer, block, index).
+			key = make([]byte, 13)
+			key[0] = 'u'
+			binary.LittleEndian.PutUint16(key[1:], uint16(w.ID))
+			binary.LittleEndian.PutUint64(key[3:], w.seq)
+			binary.LittleEndian.PutUint16(key[11:], uint16(i))
+		}
+		val := make([]byte, vs)
+		binary.LittleEndian.PutUint64(val, h)
+		for j := 8; j < vs; j++ {
+			val[j] = byte(h>>uint(j%8*8) + uint64(j))
+		}
+		b.Txs = append(b.Txs, EncodeTx(Tx{Op: OpSet, Key: key, Value: val}))
+	}
+	return b
+}

@@ -59,3 +59,56 @@ func TestCommitOrderDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestExecWorkerCountInvariance: parallel execution must be strictly
+// downstream of consensus. The same seeded scenario run with 1 exec worker
+// and with 8 must produce (a) a byte-identical committed sequence — the
+// worker pool takes no clock-dependent action the simulator could observe —
+// and (b) bit-identical KV state roots at every node — dependency-leveled
+// execution commutes with the serial order. Covered at both ends of the
+// dependency-rate knob, including the all-conflicts regime where the engine
+// degrades to a serial chain.
+func TestExecWorkerCountInvariance(t *testing.T) {
+	for _, conflict := range []int{0, 100} {
+		base := Config{
+			Mode: core.ModeMultiClan, N: 12, NumClans: 2, TxPerProposal: 40,
+			KVConflictPct: conflict,
+			Warmup:        2 * time.Second, Measure: 4 * time.Second, Seed: 17,
+		}
+		serial, par := base, base
+		serial.ExecWorkers = 1
+		par.ExecWorkers = 8
+		a, b := Run(serial), Run(par)
+
+		if len(a.Order) == 0 {
+			t.Fatalf("conflict=%d: run committed nothing", conflict)
+		}
+		if len(a.Order) != len(b.Order) {
+			t.Fatalf("conflict=%d: commit counts diverged: %d vs %d", conflict, len(a.Order), len(b.Order))
+		}
+		for i := range a.Order {
+			if a.Order[i] != b.Order[i] {
+				t.Fatalf("conflict=%d: commit order diverged at %d: %v vs %v",
+					conflict, i, a.Order[i], b.Order[i])
+			}
+		}
+		if len(a.StateRoots) != base.N || len(b.StateRoots) != base.N {
+			t.Fatalf("conflict=%d: missing state roots", conflict)
+		}
+		if a.StateRoots[0] == (types.Hash{}) {
+			t.Fatalf("conflict=%d: node 0 executed nothing", conflict)
+		}
+		for i := range a.StateRoots {
+			if a.StateRoots[i] != b.StateRoots[i] {
+				t.Fatalf("conflict=%d node %d: state root diverged between 1 and 8 workers:\n  %x\n  %x",
+					conflict, i, a.StateRoots[i], b.StateRoots[i])
+			}
+		}
+		// Cross-node root equality is NOT asserted: the run halts at a
+		// virtual-time cutoff, so nodes sit at different commit points
+		// (and, under multi-clan dissemination, hold different block
+		// subsets). The invariance that matters — and is asserted above —
+		// is per-node: same node, same seed, any worker count, same root.
+		t.Logf("conflict=%d%%: %d commits, roots invariant across worker counts", conflict, len(a.Order))
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"clanbft/internal/committee"
 	"clanbft/internal/core"
 	"clanbft/internal/crypto"
+	"clanbft/internal/execution"
+	"clanbft/internal/execution/parallel"
 	"clanbft/internal/faults"
 	"clanbft/internal/mempool"
 	"clanbft/internal/metrics"
@@ -69,6 +71,26 @@ type Config struct {
 	// Regions overrides the even 5-region split.
 	Regions []int
 
+	// ExecWorkers, when > 0, attaches the dependency-aware parallel
+	// execution engine (internal/execution/parallel) behind each node's
+	// async exec stage: committed vertices are delivered in batches and
+	// executed on this many workers, with per-node state roots reported
+	// in Result.StateRoots. Parallelism is strictly downstream of the
+	// total order — the simulator schedule, Result.Order, and the state
+	// roots are identical for 1 and N workers. Incompatible with Faults
+	// (executor state does not survive the crash/restart path).
+	ExecWorkers int
+	// KVWorkload switches the block source from the opaque mempool
+	// generator to the deterministic KV workload
+	// (execution.Workload): TxPerProposal SET transactions per proposal
+	// whose keys conflict with probability KVConflictPct percent.
+	// Implied by ExecWorkers > 0; TxSize is ignored (the workload's
+	// value size applies).
+	KVWorkload bool
+	// KVConflictPct is the hot-key probability, 0-100 (the
+	// dependency-rate knob of the tx/s-vs-conflict sweep).
+	KVConflictPct int
+
 	// Faults, when non-nil, wraps every endpoint in the deterministic
 	// fault layer and drives the schedule over the run: link drop/dup/
 	// reorder/delay rules, named partitions with heal, and crash/restart
@@ -120,6 +142,11 @@ type Result struct {
 	// the determinism witness: an identical Config must reproduce it
 	// byte for byte, async execution included.
 	Order []types.Position
+
+	// StateRoots holds each node's final KV state root when ExecWorkers
+	// is set — the execution-determinism witness: identical across nodes
+	// holding the blocks, and invariant under the worker count.
+	StateRoots []types.Hash
 }
 
 // PaperClanSize returns the clan sizes used in Section 7 (failure
@@ -158,6 +185,9 @@ func (c *Config) fill() {
 	}
 	if c.RoundTimeout == 0 {
 		c.RoundTimeout = 10 * time.Second
+	}
+	if c.ExecWorkers > 0 {
+		c.KVWorkload = true
 	}
 	if c.Mode == core.ModeSingleClan && c.ClanSize == 0 {
 		c.ClanSize = PaperClanSize(c.N)
@@ -254,6 +284,78 @@ func Run(cfg Config) Result {
 			feps[i].RegisterMetrics(regs[i])
 		}
 	}
+
+	// Parallel execution engines, one per node (ExecWorkers > 0). The
+	// engine is attached via DeliverBatch and owns that node's KV state; it
+	// must survive for the whole run, so it is incompatible with the
+	// crash/restart fault path (which rebuilds nodes from stores).
+	var engines []*parallel.Engine
+	if cfg.ExecWorkers > 0 {
+		if cfg.Faults != nil {
+			panic("harness: ExecWorkers is incompatible with Faults (executor state does not survive restarts)")
+		}
+		engines = make([]*parallel.Engine, cfg.N)
+		for i := range engines {
+			engines[i] = parallel.New(execution.NewExecutor(types.NodeID(i), nil),
+				parallel.Config{Workers: cfg.ExecWorkers, Metrics: regs[i]})
+		}
+	}
+
+	// measure is the per-vertex measurement body, shared by the Deliver
+	// and DeliverBatch wirings. It runs on the exec-stage goroutine; the
+	// virtual clock belongs to the simulator goroutine and must not be
+	// read here — OrderedAt was stamped in handler context.
+	measure := func(i int, cv core.CommittedVertex) {
+		v := cv.Vertex
+		if i == 0 {
+			pos := v.Pos()
+			if orderSeen == nil {
+				order = append(order, pos)
+			} else if !orderSeen[pos] {
+				orderSeen[pos] = true
+				order = append(order, pos)
+			}
+		}
+		if v.BlockDigest.IsZero() {
+			return
+		}
+		s := &samples[i]
+		if s.seen != nil {
+			// Recovery replays the whole order; count each
+			// position once per node across incarnations.
+			pos := v.Pos()
+			if s.seen[pos] {
+				return
+			}
+			s.seen[pos] = true
+		}
+		now := cv.OrderedAt
+		if now < measureStart || now > measureEnd {
+			return
+		}
+		// Every node observes the commit of every vertex (the
+		// digest is global); latency needs the creation stamp,
+		// which clan members have via the block. Count
+		// throughput once per node from vertex metadata via
+		// the block when held; nodes without the block count
+		// via the proposer's generator parameters.
+		if cv.Block != nil {
+			lat := now - time.Duration(cv.Block.CreatedAt)
+			s.latSum += lat
+			if lat > s.latMax {
+				s.latMax = lat
+			}
+			s.latCount++
+			if len(s.lats) < 4096 {
+				s.lats = append(s.lats, lat)
+			}
+			s.txs += cv.Block.TxCount()
+		} else {
+			// Outside the proposer's clan: the payload size
+			// is protocol-fixed in this workload.
+			s.txs += cfg.TxPerProposal
+		}
+	}
 	mkNode := func(i int) *core.Node {
 		id := types.NodeID(i)
 		clk := net.Clock(id)
@@ -261,7 +363,11 @@ func Run(cfg Config) Result {
 		if stores != nil {
 			st = stores[i]
 		}
-		return core.New(core.Config{
+		var blocks core.BlockSource = mempool.NewGenerator(id, cfg.TxPerProposal, cfg.TxSize, true)
+		if cfg.KVWorkload {
+			blocks = execution.NewWorkload(id, cfg.TxPerProposal, cfg.KVConflictPct, cfg.Seed)
+		}
+		ncfg := core.Config{
 			Self:            id,
 			N:               cfg.N,
 			Mode:            cfg.Mode,
@@ -269,66 +375,26 @@ func Run(cfg Config) Result {
 			Key:             &keys[i],
 			Reg:             reg,
 			Costs:           costs,
-			Blocks:          mempool.NewGenerator(id, cfg.TxPerProposal, cfg.TxSize, true),
+			Blocks:          blocks,
 			LeadersPerRound: cfg.LeadersPerRound,
 			RoundTimeout:    cfg.RoundTimeout,
 			GCDepth:         16,
 			Store:           st,
-			Deliver: func(cv core.CommittedVertex) {
-				v := cv.Vertex
-				if i == 0 {
-					pos := v.Pos()
-					if orderSeen == nil {
-						order = append(order, pos)
-					} else if !orderSeen[pos] {
-						orderSeen[pos] = true
-						order = append(order, pos)
-					}
+			ExecQueue:       ExecQueue,
+			Metrics:         regs[i],
+		}
+		if engines != nil {
+			eng := engines[i]
+			ncfg.DeliverBatch = func(cvs []core.CommittedVertex) {
+				for _, cv := range cvs {
+					measure(i, cv)
 				}
-				if v.BlockDigest.IsZero() {
-					return
-				}
-				s := &samples[i]
-				if s.seen != nil {
-					// Recovery replays the whole order; count each
-					// position once per node across incarnations.
-					pos := v.Pos()
-					if s.seen[pos] {
-						return
-					}
-					s.seen[pos] = true
-				}
-				// Deliver runs on the exec-stage goroutine; the virtual
-				// clock belongs to the simulator goroutine and must not
-				// be read here. OrderedAt was stamped in handler context.
-				now := cv.OrderedAt
-				if now < measureStart || now > measureEnd {
-					return
-				}
-				// Every node observes the commit of every vertex (the
-				// digest is global); latency needs the creation stamp,
-				// which clan members have via the block. Count
-				// throughput once per node from vertex metadata via
-				// the block when held; nodes without the block count
-				// via the proposer's generator parameters.
-				if cv.Block != nil {
-					lat := now - time.Duration(cv.Block.CreatedAt)
-					s.latSum += lat
-					if lat > s.latMax {
-						s.latMax = lat
-					}
-					s.latCount++
-					if len(s.lats) < 4096 {
-						s.lats = append(s.lats, lat)
-					}
-					s.txs += cv.Block.TxCount()
-				} else {
-					// Outside the proposer's clan: the payload size
-					// is protocol-fixed in this workload.
-					s.txs += cfg.TxPerProposal
-				}
-			},
-		}, endpoints[i], clk)
+				eng.ApplyBatch(cvs)
+			}
+		} else {
+			ncfg.Deliver = func(cv core.CommittedVertex) { measure(i, cv) }
+		}
+		return core.New(ncfg, endpoints[i], clk)
 	}
 	for i := 0; i < cfg.N; i++ {
 		nodes[i] = mkNode(i)
@@ -416,5 +482,13 @@ func Run(cfg Config) Result {
 	res.TPS = float64(res.OrderedTxs) / cfg.Measure.Seconds()
 	res.Pipeline = metrics.Merge(snaps...)
 	res.Order = order
+	if engines != nil {
+		// Safe to read: every exec stage was flushed above, so the
+		// engines are quiescent.
+		res.StateRoots = make([]types.Hash, cfg.N)
+		for i, eng := range engines {
+			res.StateRoots[i] = eng.Executor().StateRoot()
+		}
+	}
 	return res
 }
