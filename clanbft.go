@@ -109,6 +109,13 @@ type Options struct {
 	StoreDir string
 	// Seed drives deterministic key generation and clan sampling.
 	Seed int64
+	// SparseEdges enables the metadata-lean DAG mode: each proposal keeps
+	// strong edges to the previous round's leader vertices and a
+	// deterministic 2f+1-sized sample of the remaining parents, and the
+	// redundant echo-certificate rebroadcast is suppressed. Cuts
+	// per-round metadata from O(n^2) toward near-linear at large n; see
+	// core.Config.SparseEdges.
+	SparseEdges bool
 }
 
 func (o *Options) fill() error {
@@ -227,6 +234,8 @@ func NewCluster(o Options) (*Cluster, error) {
 			RoundTimeout:    o.RoundTimeout,
 			VerifyCores:     verifyCores,
 			ExecQueue:       o.ExecQueue,
+			SparseEdges:     o.SparseEdges,
+			SparseSeed:      uint64(o.Seed),
 			// Batch delivery: per-commit callbacks see each vertex in
 			// order, then batch callbacks get the whole consecutive
 			// run (with ExecQueue > 0 a run is everything queued since

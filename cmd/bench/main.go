@@ -13,7 +13,8 @@
 //	bench -exp sec62     # Section 6.2 concrete probabilities
 //	bench -exp comm      # communication-complexity accounting
 //	bench -exp ablate    # single-clan throughput vs clan size
-//	bench -exp micro     # transport/WAL/pipeline/parallel-exec micro-benchmarks -> BENCH_PR6.json
+//	bench -exp sparse    # sparse-edge DAG scaling: n=50/100/200, dense vs sparse
+//	bench -exp micro     # transport/WAL/pipeline/parallel-exec micro-benchmarks -> BENCH_PR7.json
 //	bench -exp chaos     # seeded mixed-fault property runner (safety+liveness)
 //	bench -exp all       # every simulator experiment (micro/chaos run only when named)
 //
@@ -55,7 +56,7 @@ func main() {
 		quick = flag.Bool("quick", false, "short windows and fewer load points")
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
-		mout  = flag.String("micro-out", "BENCH_PR6.json", "output path for -exp micro results")
+		mout  = flag.String("micro-out", "BENCH_PR7.json", "output path for -exp micro results")
 		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, commits/sec)")
 		nchao = flag.Int("chaos-scenarios", 10, "seeds per clan mode for -exp chaos")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
@@ -213,6 +214,21 @@ func main() {
 		fmt.Println()
 		printPipeline(rs)
 	}
+	// The sparse-edge scaling sweep runs only when named: n=200 clusters
+	// cost minutes of host CPU per row even with short windows.
+	if *exp == "sparse" {
+		ns := []int{50, 100, 200}
+		sw, sm := 1*time.Second, 3*time.Second
+		if *quick {
+			ns = []int{50, 100}
+		}
+		rows := harness.SparseDagScale(ns, sw, sm, *seed)
+		harness.PrintSparse(os.Stdout, "Sparse-edge DAG scaling — multi-clan, dense vs sparse", rows)
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		finishProfiles()
+		return
+	}
+
 	if run("comm") {
 		n, load := 40, 1000
 		if *quick {

@@ -106,6 +106,21 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 		if want, ok := b.Extra["commits/sec"]; ok {
 			checkMin(r.Name, "commits/sec", r.Extra["commits/sec"], want)
 		}
+		if want, ok := b.Extra["bytes/commit"]; ok {
+			// The sparse-edge metadata claim: wire bytes per committed
+			// vertex must not creep back up. The number is deterministic
+			// (virtual time, fixed seed, analytic byte accounting), so the
+			// limit is the baseline plus 2% headroom — any protocol change
+			// that raises it must re-record the baseline deliberately.
+			got, limit := r.Extra["bytes/commit"], want*1.02
+			status := "ok  "
+			if got > limit {
+				status = "FAIL"
+				regressions++
+			}
+			fmt.Printf("  %s %-45s %-11s %.3f (baseline %.3f, limit %.3f)\n",
+				status, r.Name, "bytes/commit", got, want, limit)
+		}
 		if want, ok := b.Extra["tx/s"]; ok {
 			// The parallel execution engine's throughput. The validation
 			// cost is sleep-modeled, so the rate is stable across runners;

@@ -52,6 +52,7 @@ func main() {
 		peers    = flag.String("peers", "", "address book file: one 'id host:port' per line")
 		seed     = flag.Int64("seed", 7, "shared deployment seed")
 		storeDir = flag.String("store", "", "persistence directory")
+		sparse   = flag.Bool("sparse", false, "sparse strong-edge mode (2f+1 sampled parents, suppressed cert relay)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 	opts := clanbft.Options{
 		N: *n, Mode: mode, ClanSize: *clanSize, NumClans: *numClans,
 		Seed: *seed, StoreDir: *storeDir, RoundTimeout: 3 * time.Second,
+		SparseEdges: *sparse,
 	}
 
 	if *local {

@@ -182,6 +182,22 @@ type Config struct {
 	// DAG retains (default 64).
 	GCDepth int
 
+	// SparseEdges enables the metadata-lean DAG mode: proposals keep
+	// strong edges to every delivered leader vertex of the previous round
+	// (the commit rules depend on those) and fill up to 2f+1 with a
+	// deterministic seed-derived sample of the remaining delivered
+	// parents; the unselected parents are weak-edged by a later proposal
+	// unless already transitively reachable. Sparse mode also suppresses
+	// the redundant echo-certificate broadcast: every honest node
+	// assembles the same certificate locally from the echo flood, so only
+	// the vertex's own source announces it (stragglers recover it via the
+	// vertex pull path, which ships the certificate first).
+	SparseEdges bool
+	// SparseSeed diversifies the sparse parent sample across deployments.
+	// The per-round draw also mixes the round number and proposer ID, so
+	// zero is a fine default.
+	SparseSeed uint64
+
 	// VerifyCores declares how many cores verify inbound signatures in
 	// parallel. When > 1, signature-verification work (EdVerify, AggVerify)
 	// is charged to the clock at Costs.Parallel(VerifyCores) rates — the
@@ -300,6 +316,8 @@ type Node struct {
 	mExecDone     *metrics.Counter
 	mExecTxs      *metrics.Counter
 	mExecDeliver  *metrics.Histogram
+	mDagVerts     *metrics.Counter
+	mDagEdges     *metrics.Counter
 
 	// syncBatch is the single-element scratch synchronous-mode
 	// emitCommitted hands to DeliverBatch.
@@ -353,6 +371,7 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 			waitingChild:     map[types.Position][]types.Position{},
 			commitWait:       map[types.Position]bool{},
 			lateVertices:     map[types.Position]*types.Vertex{},
+			pulls:            map[types.Position]bool{},
 		},
 		timedOutRound: map[types.Round]bool{},
 		timeoutAggs:   map[types.Round]*crypto.Aggregator{},
@@ -437,6 +456,17 @@ func (n *Node) initMetrics() {
 	reg.Counter(types.StageExec.Metric("backpressure"))
 	// Queue-depth gauges exist even before the first snapshot samples them.
 	reg.Gauge(types.StageExec.Metric("queue_depth"))
+	// DAG shape: exact edge/vertex counters incremented on insert, plus two
+	// snapshot-derived ratio gauges. parents_per_vertex is scaled x100
+	// (integer gauge; 5012 means 50.12 parents on average) so the dense/
+	// sparse difference survives integer truncation. bytes_per_commit
+	// divides total transport bytes sent by vertices ordered on this node;
+	// both ratios are per-node views (merging snapshots across a cluster
+	// sums them, so read them from single-node snapshots).
+	n.mDagVerts = reg.Counter("dag.vertices")
+	n.mDagEdges = reg.Counter("dag.edges")
+	reg.Gauge("dag.parents_per_vertex")
+	reg.Gauge("transport.bytes_per_commit")
 	reg.OnSnapshot(func(s *metrics.Snapshot) {
 		st := n.ep.Stats()
 		s.SetGauge(types.StageIntake.Metric("queue_depth"), int64(st.HandlerQueue))
@@ -451,6 +481,12 @@ func (n *Node) initMetrics() {
 		s.SetCounter("transport.rx_alloc_bytes", st.RxAllocBytes)
 		s.SetCounter("transport.coalesced_frames", st.CoalescedFrames)
 		s.SetCounter("transport.flushes", st.Flushes)
+		if verts := n.mDagVerts.Load(); verts > 0 {
+			s.SetGauge("dag.parents_per_vertex", int64(100*n.mDagEdges.Load()/verts))
+		}
+		if ordered := n.mOrderVerts.Load(); ordered > 0 {
+			s.SetGauge("transport.bytes_per_commit", int64(st.BytesSent/ordered))
+		}
 		n.mu.Lock()
 		live := 0
 		for _, row := range n.rbc.insts {

@@ -50,6 +50,7 @@ type topt struct {
 	txCount int
 	uniform bool // single-region topology for latency math
 	seed    int64
+	sparse  bool // sparse-edge DAG mode on every node
 }
 
 func newTCluster(t *testing.T, n int, o topt) *tcluster {
@@ -87,6 +88,8 @@ func newTCluster(t *testing.T, n int, o topt) *tcluster {
 			Reg:          c.reg,
 			Blocks:       &testSource{id: id, txCount: o.txCount, txSize: 64},
 			RoundTimeout: o.timeout,
+			SparseEdges:  o.sparse,
+			SparseSeed:   uint64(o.seed),
 			Deliver: func(cv CommittedVertex) {
 				c.orders[i] = append(c.orders[i], cv)
 			},

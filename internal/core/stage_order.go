@@ -38,6 +38,10 @@ type orderState struct {
 	// lateVertices collects vertices that missed strong-edge inclusion and
 	// must be weak-edged by the next proposal (guarantees BAB validity).
 	lateVertices map[types.Position]*types.Vertex
+	// pulls tracks parent positions with an ordering-stage pull in flight,
+	// so buffered-vertex retries never re-request the same parent. Cleared
+	// on insert; swept by gc.
+	pulls map[types.Position]bool
 }
 
 // onDelivered runs when the merged RBC completes for a vertex: insert into
@@ -71,8 +75,13 @@ func (n *Node) tryInsert(v *types.Vertex) {
 			n.ord.waitingChild[p] = append(n.ord.waitingChild[p], pos)
 			// A parent that was never pushed to us must be pulled:
 			// its RBC may have completed at others while our VAL
-			// was lost pre-GST.
+			// was lost pre-GST. One in-flight pull per position —
+			// other children waiting on the same parent ride along.
+			if n.ord.pulls[p] {
+				continue
+			}
 			if in := n.inst(p); !in.delivered {
+				n.ord.pulls[p] = true
 				n.maybeStartVtxPull(p, in)
 			}
 		}
@@ -115,6 +124,9 @@ func (n *Node) insertNow(v *types.Vertex) {
 	}
 	n.clk.Charge(n.cfg.Costs.StoreWrite)
 	delete(n.ord.pendingInsert, pos)
+	delete(n.ord.pulls, pos)
+	n.mDagVerts.Inc()
+	n.mDagEdges.Add(uint64(len(v.StrongEdges) + len(v.WeakEdges)))
 
 	// Vertices that already missed strong-edge inclusion get weak edges in
 	// our next proposal so they are eventually ordered (BAB validity).
@@ -372,10 +384,78 @@ func (n *Node) gc() {
 			delete(n.ord.lateVertices, pos)
 		}
 	}
+	for pos := range n.ord.pulls {
+		if pos.Round < horizon {
+			delete(n.ord.pulls, pos)
+		}
+	}
 	for r := range n.ord.deliveredByRound {
 		if r < horizon {
 			delete(n.ord.deliveredByRound, r)
 			delete(n.ord.leaderDelivered, r)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Sparse parent selection.
+
+// splitmix64 steps the sparse-selection PRNG (SplitMix64, Steele et al.;
+// public-domain constants). A tiny inline generator keeps the draw
+// deterministic across platforms and free of math/rand state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// selectParents chooses the strong-edge targets for a round-r proposal.
+// Dense mode (and any round with at most 2f+1 delivered parents) references
+// everything delivered in round r-1. Sparse mode always keeps the previous
+// round's delivered leader vertices — the direct-commit rule counts strong
+// edges to them, and StrongPath walks run through them — then fills up to
+// 2f+1 with a deterministic sample of the rest, drawn from
+// (SparseSeed, round, self) so peers can reproduce and audit the choice.
+// The unselected remainder is returned for deferral to lateVertices: a later
+// proposal weak-edges whatever is not already transitively covered, so every
+// delivered vertex still reaches the total order (BAB validity).
+func (n *Node) selectParents(r types.Round) (sel, deferred []*types.Vertex) {
+	delivered := n.ord.deliveredByRound[r-1]
+	if !n.cfg.SparseEdges || len(delivered) <= 2*n.cfg.F+1 {
+		return delivered, nil
+	}
+	isLeader := func(src types.NodeID) bool {
+		for k := 0; k < n.cfg.LeadersPerRound; k++ {
+			if src == n.leaderAt(r-1, k) {
+				return true
+			}
+		}
+		return false
+	}
+	var rest []*types.Vertex
+	for _, pv := range delivered {
+		if isLeader(pv.Source) {
+			sel = append(sel, pv)
+		} else {
+			rest = append(rest, pv)
+		}
+	}
+	need := 2*n.cfg.F + 1 - len(sel)
+	if need < 0 {
+		need = 0
+	}
+	if need > len(rest) {
+		need = len(rest)
+	}
+	// Partial Fisher-Yates: the first `need` slots of rest become the
+	// sample, the tail is deferred.
+	st := n.cfg.SparseSeed ^ uint64(r)*0xd1342543de82ef95 ^ uint64(n.cfg.Self)*0xaf251af3b0f025b5
+	for i := 0; i < need; i++ {
+		j := i + int(splitmix64(&st)%uint64(len(rest)-i))
+		rest[i], rest[j] = rest[j], rest[i]
+	}
+	sel = append(sel, rest[:need]...)
+	return sel, rest[need:]
 }

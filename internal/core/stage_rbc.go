@@ -366,19 +366,22 @@ func (n *Node) onEcho(from types.NodeID, m *types.VoteMsg) {
 	cert := &types.EchoCertMsg{Pos: m.Pos, Digest: m.Digest, Agg: tally.agg.Sig()}
 	in.cert = cert
 	n.acceptCert(m.Pos, in, m.Digest)
-	n.ep.Broadcast(cert)
+	// Sparse mode: the echo flood already puts every honest node in a
+	// position to assemble this exact certificate locally, so the n-wide
+	// cert broadcast is redundant — an O(n^3)-per-round term at tribe
+	// scale. Only the vertex's own source announces it (cheap insurance
+	// for nodes that missed echoes); everyone else relies on local
+	// assembly, with the pull path (which ships the certificate before
+	// the vertex) covering stragglers.
+	if !n.cfg.SparseEdges || m.Pos.Source == n.cfg.Self {
+		n.ep.Broadcast(cert)
+	}
 }
 
 // validCert structurally verifies an echo certificate.
 func (n *Node) validCert(m *types.EchoCertMsg) bool {
 	if types.BitmapCount(m.Agg.Bitmap) < 2*n.cfg.F+1 {
 		return false
-	}
-	members := types.BitmapMembers(m.Agg.Bitmap)
-	for _, id := range members {
-		if int(id) >= n.cfg.N {
-			return false
-		}
 	}
 	// Clan condition: conservatively required whenever the proposer is a
 	// block proposer (an empty vertex from a clan member also trivially
@@ -393,16 +396,22 @@ func (n *Node) validCert(m *types.EchoCertMsg) bool {
 	} else {
 		clan = n.blockClan(m.Pos.Source)
 	}
-	if clan != types.NoClan {
-		cnt := 0
-		for _, id := range members {
-			if n.inClan[clan][id] {
-				cnt++
-			}
-		}
-		if cnt < n.fcOf[clan]+1 {
+	// One allocation-free pass checks signer range and counts clan votes.
+	cnt := 0
+	inRange := types.BitmapForEach(m.Agg.Bitmap, func(id types.NodeID) bool {
+		if int(id) >= n.cfg.N {
 			return false
 		}
+		if clan != types.NoClan && n.inClan[clan][id] {
+			cnt++
+		}
+		return true
+	})
+	if !inRange {
+		return false
+	}
+	if clan != types.NoClan && cnt < n.fcOf[clan]+1 {
+		return false
 	}
 	if n.cfg.Reg.CheckSigs && !m.PreVerified() && !n.cfg.Reg.VerifyAgg(echoCtx(m.Pos, m.Digest), m.Agg) {
 		return false
@@ -425,9 +434,14 @@ func (n *Node) onCert(from types.NodeID, m *types.EchoCertMsg) {
 	in.cert = m
 	if !in.certSent {
 		// Forward once so every party obtains the certificate even if
-		// its original assembler was faulty (totality).
+		// its original assembler was faulty (totality). Sparse mode skips
+		// the blind forward — totality holds through local assembly from
+		// the echo flood plus the cert-first pull path — and keeps the
+		// certificate only for pull responses.
 		in.certSent = true
-		n.ep.Broadcast(m)
+		if !n.cfg.SparseEdges {
+			n.ep.Broadcast(m)
+		}
 	}
 	n.acceptCert(m.Pos, in, m.Digest)
 }

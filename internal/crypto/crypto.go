@@ -194,7 +194,7 @@ func (r *Registry) VerifyAgg(msg []byte, agg types.AggSig) bool {
 		return true
 	}
 	var want [32]byte
-	for _, id := range types.BitmapMembers(agg.Bitmap) {
+	ok := types.BitmapForEach(agg.Bitmap, func(id types.NodeID) bool {
 		if int(id) >= len(r.TagKeys) {
 			return false
 		}
@@ -202,8 +202,9 @@ func (r *Registry) VerifyAgg(msg []byte, agg types.AggSig) bool {
 		for i := range want {
 			want[i] ^= p[i]
 		}
-	}
-	return want == agg.Tag
+		return true
+	})
+	return ok && want == agg.Tag
 }
 
 // SigTag is a convenience for converting an individual vote (Ed25519 signed)

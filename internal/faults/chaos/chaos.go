@@ -61,6 +61,11 @@ type Options struct {
 	// CheckSigs enables real signature verification (slower; chaos sweeps
 	// default to modeled crypto since the fault layer never forges).
 	CheckSigs bool
+	// Sparse runs every node in the sparse-edge DAG mode (sampled 2f+1
+	// strong parents, suppressed redundant certificate broadcasts). The
+	// property checks are identical: safety and liveness must hold in
+	// both edge modes under the same schedules.
+	Sparse bool
 	// FreshStoreOnRestart wipes the node's store before a restart instead
 	// of recovering from it — the pre-fault-layer behavior. Used by the
 	// control test proving the equivocation monitor catches a node that
@@ -211,6 +216,8 @@ func (c *cluster) startNode(i int) {
 		RoundTimeout: 700 * time.Millisecond,
 		ExecQueue:    execQueue,
 		Metrics:      c.regs[i],
+		SparseEdges:  c.opts.Sparse,
+		SparseSeed:   uint64(c.opts.Seed),
 		Deliver: func(cv core.CommittedVertex) {
 			c.orders[i] = append(c.orders[i], cv.Vertex.Pos())
 		},

@@ -171,3 +171,34 @@ func TestChaosTraceDeterminism(t *testing.T) {
 		t.Fatal("empty trace")
 	}
 }
+
+// TestChaosSparseMixedFaults is the sparse-edge safety sweep: the same
+// generated fault schedules run in dense and sparse edge modes, and both
+// must uphold every property — prefix-consistent commit sequences across
+// honest nodes, no double commits, no equivocation, and post-heal progress.
+// Sparse parent selection changes which strong edges exist, so this is the
+// end-to-end check that the commit rules (leader votes, strong-path
+// walks, causal-history ordering) still cover everything under drops,
+// partitions, and crash/restart cycles. The per-seed schedule is identical
+// across the two modes (it derives from the seed alone), making every
+// failure a clean dense-vs-sparse bisect.
+func TestChaosSparseMixedFaults(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	base := chaosSeedBase(t)
+	for _, mode := range []core.Mode{core.ModeSingleClan, core.ModeMultiClan} {
+		for s := int64(0); s < int64(seeds); s++ {
+			seed := base + s
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				for _, sparse := range []bool{false, true} {
+					r := Run(Options{Seed: seed, Mode: mode, Dir: t.TempDir(), Sparse: sparse})
+					if r.Failed() {
+						dumpFailure(t, r)
+					}
+				}
+			})
+		}
+	}
+}

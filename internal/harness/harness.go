@@ -91,6 +91,11 @@ type Config struct {
 	// dependency-rate knob of the tx/s-vs-conflict sweep).
 	KVConflictPct int
 
+	// SparseEdges runs every node in the metadata-lean DAG mode: sampled
+	// 2f+1 strong parents (leaders always kept) and suppressed redundant
+	// certificate broadcasts. See core.Config.SparseEdges.
+	SparseEdges bool
+
 	// Faults, when non-nil, wraps every endpoint in the deterministic
 	// fault layer and drives the schedule over the run: link drop/dup/
 	// reorder/delay rules, named partitions with heal, and crash/restart
@@ -382,6 +387,8 @@ func Run(cfg Config) Result {
 			Store:           st,
 			ExecQueue:       ExecQueue,
 			Metrics:         regs[i],
+			SparseEdges:     cfg.SparseEdges,
+			SparseSeed:      uint64(cfg.Seed),
 		}
 		if engines != nil {
 			eng := engines[i]

@@ -313,6 +313,35 @@ func PipelineE2E(b *testing.B) {
 	b.ReportMetric(float64(commits)/(warm+meas).Seconds(), "commits/sec")
 }
 
+// SparseDagScale drives one cell of the sparse-edge scaling experiment (a
+// multi-clan cluster of n nodes, dense or sparse edge mode) and reports
+// commits/sec plus bytes/commit and parents/vertex. bytes/commit — total
+// cluster wire bytes over node 0's committed vertices — is the metadata-
+// compression claim and gates lower-is-better; commits/sec floor-checks
+// that sparse parent sampling costs no commit throughput. Deterministic:
+// virtual time, fixed seed. The full n=50/100/200 sweep lives in
+// harness.SparseDagScale (cmd/bench -exp sparse); the gated cell uses n=50
+// to keep CI wall time sane.
+func SparseDagScale(b *testing.B, n int, sparse bool) {
+	const warm, meas = 1 * time.Second, 3 * time.Second
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Run(harness.Config{
+			Mode: core.ModeMultiClan, N: n, TxPerProposal: 8,
+			Warmup: warm, Measure: meas, Seed: 42, SparseEdges: sparse,
+		})
+	}
+	commits := len(res.Order)
+	if commits == 0 {
+		b.Fatal("sparse-dag pipeline committed nothing")
+	}
+	b.ReportMetric(float64(commits)/(warm+meas).Seconds(), "commits/sec")
+	b.ReportMetric(float64(res.TotalBytes)/float64(commits), "bytes/commit")
+	if verts := res.Pipeline.Counters["dag.vertices"]; verts > 0 {
+		b.ReportMetric(float64(res.Pipeline.Counters["dag.edges"])/float64(verts), "parents/vertex")
+	}
+}
+
 // execValidateCost is the simulated per-transaction validation cost in
 // ParallelExecTxRate — the component the dependency-aware engine
 // parallelizes. Modeled as a sleep (like Fabric's VSCC delay in the
@@ -402,9 +431,11 @@ func Run(name string, fn func(b *testing.B)) Row {
 // Suite runs the gating micro-benchmarks: the multicast at two peer counts
 // (allocs/op must match — the encode-once invariant), group commit at two
 // writer counts (fsyncs/op must stay below one), the end-to-end pipeline
-// (commits/sec must not fall), and the parallel execution engine's
+// (commits/sec must not fall), the parallel execution engine's
 // tx/s-vs-dependency-rate sweep (tx/s must not fall; 8 workers at 0%
-// conflict must stay well above the serial row).
+// conflict must stay well above the serial row), and the sparse-edge DAG
+// cell at n=50 in both edge modes (bytes/commit must not rise, commits/sec
+// must not fall).
 func Suite(verbose io.Writer) []Row {
 	rows := []Row{
 		Run("MulticastEncodeOnce/peers=4/payload=1MiB", func(b *testing.B) { MulticastEncodeOnce(b, 4, 1<<20) }),
@@ -420,6 +451,8 @@ func Suite(verbose io.Writer) []Row {
 		Run("ParallelExecTxRate/workers=8/conflict=0", func(b *testing.B) { ParallelExecTxRate(b, 8, 0) }),
 		Run("ParallelExecTxRate/workers=8/conflict=10", func(b *testing.B) { ParallelExecTxRate(b, 8, 10) }),
 		Run("ParallelExecTxRate/workers=8/conflict=50", func(b *testing.B) { ParallelExecTxRate(b, 8, 50) }),
+		Run("SparseDagScale/n=50/dense", func(b *testing.B) { SparseDagScale(b, 50, false) }),
+		Run("SparseDagScale/n=50/sparse", func(b *testing.B) { SparseDagScale(b, 50, true) }),
 	}
 	if verbose != nil {
 		for _, r := range rows {

@@ -14,8 +14,16 @@ func FuzzDecode(f *testing.F) {
 	digest := HashBytes([]byte("seed"))
 	v := &Vertex{Round: 3, Source: 1, BlockDigest: digest,
 		StrongEdges: []VertexRef{{Round: 2, Source: 0, Digest: digest}}}
+	// Exercise the compressed edge encodings: a multi-byte strong-edge
+	// signer bitmap plus weak edges with multi-round deltas.
+	vWide := &Vertex{Round: 9, Source: 11, BlockDigest: digest,
+		StrongEdges: []VertexRef{{Round: 8, Source: 0}, {Round: 8, Source: 7}, {Round: 8, Source: 13}},
+		WeakEdges:   []VertexRef{{Round: 5, Source: 2}, {Round: 7, Source: 40}},
+		TC:          &TimeoutCert{Round: 8, Agg: AggSig{Bitmap: []byte{0x55}}}}
 	seeds := []Message{
 		&ValMsg{Vertex: v, Sig: sig},
+		&ValMsg{Vertex: vWide, Sig: sig},
+		&VtxRspMsg{Vertex: vWide},
 		&ValMsg{Vertex: v, Block: &Block{Round: 3, Source: 1, Txs: [][]byte{{1, 2}}}, Sig: sig},
 		&VoteMsg{K: KindEcho, Pos: Position{3, 1}, Digest: digest, Voter: 2, Sig: sig},
 		&EchoCertMsg{Pos: Position{3, 1}, Digest: digest, Agg: AggSig{Bitmap: []byte{7}}},

@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // NodeID identifies a party in the tribe. Parties are numbered densely from
@@ -91,6 +92,20 @@ func BitmapMembers(bm []byte) []NodeID {
 		}
 	}
 	return out
+}
+
+// BitmapForEach calls fn for every set bit in ascending NodeID order without
+// allocating. fn returning false stops the walk; the return value reports
+// whether every set bit was visited.
+func BitmapForEach(bm []byte, fn func(NodeID) bool) bool {
+	for i, b := range bm {
+		for ; b != 0; b &= b - 1 {
+			if !fn(NodeID(i*8 + bits.TrailingZeros8(b))) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Clone returns a deep copy of the aggregate signature.

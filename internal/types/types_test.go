@@ -65,18 +65,19 @@ func randVertex(rng *rand.Rand) *Vertex {
 		Source: NodeID(rng.Intn(200)),
 	}
 	rng.Read(v.BlockDigest[:])
-	for i := 0; i < rng.Intn(5); i++ {
+	// Strong-edge sources are distinct, as the protocol guarantees
+	// (validateVertex): the signer-bitmap encoding cannot represent
+	// duplicates.
+	for _, src := range rng.Perm(200)[:rng.Intn(5)] {
 		var r VertexRef
 		r.Round = v.Round - 1
-		r.Source = NodeID(rng.Intn(200))
-		rng.Read(r.Digest[:])
+		r.Source = NodeID(src)
 		v.StrongEdges = append(v.StrongEdges, r)
 	}
 	for i := 0; i < rng.Intn(3); i++ {
 		var r VertexRef
 		r.Round = Round(rng.Intn(int(v.Round) + 1))
 		r.Source = NodeID(rng.Intn(200))
-		rng.Read(r.Digest[:])
 		v.WeakEdges = append(v.WeakEdges, r)
 	}
 	if rng.Intn(2) == 0 {

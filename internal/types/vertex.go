@@ -130,17 +130,37 @@ func (v *Vertex) HasStrongEdgeTo(p Position) bool {
 }
 
 // Marshal appends the canonical encoding of v to b.
+//
+// Edges travel compressed. Strong edges always target round v.Round-1
+// (validateVertex rejects anything else), so the round is implicit and the
+// set encodes as a minimal-width signer bitmap: O(n/8) bytes instead of ~35
+// bytes per reference. Weak edges encode as (round delta, source) varint
+// pairs. Edge digests do not travel at all: RBC's non-equivocation property
+// pins a unique certified vertex per (round, source) position, so a position
+// identifies its vertex — the vertex digest therefore commits to the parent
+// positions, which is exactly the set the ordering rules consume.
 func (v *Vertex) Marshal(b []byte) []byte {
 	b = PutUvarint(b, uint64(v.Round))
 	b = PutUvarint(b, uint64(v.Source))
 	b = append(b, v.BlockDigest[:]...)
-	b = PutUvarint(b, uint64(len(v.StrongEdges)))
+	width := 0
 	for _, e := range v.StrongEdges {
-		b = marshalRef(b, e)
+		if w := int(e.Source)/8 + 1; w > width {
+			width = w
+		}
+	}
+	b = PutUvarint(b, uint64(width))
+	start := len(b)
+	for i := 0; i < width; i++ {
+		b = append(b, 0)
+	}
+	for _, e := range v.StrongEdges {
+		b[start+int(e.Source)/8] |= 1 << (e.Source % 8)
 	}
 	b = PutUvarint(b, uint64(len(v.WeakEdges)))
 	for _, e := range v.WeakEdges {
-		b = marshalRef(b, e)
+		b = PutUvarint(b, uint64(v.Round)-uint64(e.Round))
+		b = PutUvarint(b, uint64(e.Source))
 	}
 	if v.NVC != nil {
 		b = append(b, 1)
@@ -177,10 +197,10 @@ func UnmarshalVertex(b []byte) (*Vertex, []byte, error) {
 	}
 	copy(v.BlockDigest[:], b[:32])
 	b = b[32:]
-	if v.StrongEdges, b, err = unmarshalRefs(b); err != nil {
+	if v.StrongEdges, b, err = unmarshalStrong(b, v.Round); err != nil {
 		return nil, nil, err
 	}
-	if v.WeakEdges, b, err = unmarshalRefs(b); err != nil {
+	if v.WeakEdges, b, err = unmarshalWeak(b, v.Round); err != nil {
 		return nil, nil, err
 	}
 	if len(b) < 1 {
@@ -223,13 +243,16 @@ func UnmarshalVertex(b []byte) (*Vertex, []byte, error) {
 // WireSize returns the exact encoded size of v.
 func (v *Vertex) WireSize() int {
 	n := uvarintLen(uint64(v.Round)) + uvarintLen(uint64(v.Source)) + 32
-	n += uvarintLen(uint64(len(v.StrongEdges)))
+	width := 0
 	for _, e := range v.StrongEdges {
-		n += refWireSize(e)
+		if w := int(e.Source)/8 + 1; w > width {
+			width = w
+		}
 	}
+	n += uvarintLen(uint64(width)) + width
 	n += uvarintLen(uint64(len(v.WeakEdges)))
 	for _, e := range v.WeakEdges {
-		n += refWireSize(e)
+		n += uvarintLen(uint64(v.Round)-uint64(e.Round)) + uvarintLen(uint64(e.Source))
 	}
 	n += 2 // nvc + tc flags
 	if v.NVC != nil {
@@ -249,49 +272,54 @@ func (v *Vertex) Equal(o *Vertex) bool {
 	return bytes.Equal(v.Marshal(nil), o.Marshal(nil))
 }
 
-func marshalRef(b []byte, r VertexRef) []byte {
-	b = PutUvarint(b, uint64(r.Round))
-	b = PutUvarint(b, uint64(r.Source))
-	return append(b, r.Digest[:]...)
-}
+// maxBitmapBytes bounds a strong-edge bitmap: NodeID is 16 bits, so no
+// honest encoder ever emits more than 2^16/8 bytes.
+const maxBitmapBytes = 8192
 
-func refWireSize(r VertexRef) int {
-	return uvarintLen(uint64(r.Round)) + uvarintLen(uint64(r.Source)) + 32
-}
-
-func unmarshalRef(b []byte) (VertexRef, []byte, error) {
-	var r VertexRef
-	u, b, err := Uvarint(b)
+// unmarshalStrong decodes the strong-edge signer bitmap. Every decoded edge
+// targets round-1 (the only round validateVertex accepts); digests are not
+// on the wire — RBC pins the vertex behind each position.
+func unmarshalStrong(b []byte, round Round) ([]VertexRef, []byte, error) {
+	width, b, err := Uvarint(b)
 	if err != nil {
-		return r, nil, err
+		return nil, nil, err
 	}
-	r.Round = Round(u)
-	if u, b, err = Uvarint(b); err != nil {
-		return r, nil, err
+	if width > maxBitmapBytes || width > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("types: strong-edge bitmap width %d exceeds buffer", width)
 	}
-	r.Source = NodeID(u)
-	if len(b) < 32 {
-		return r, nil, fmt.Errorf("types: short ref digest")
-	}
-	copy(r.Digest[:], b[:32])
-	return r, b[32:], nil
+	bm := b[:width]
+	b = b[width:]
+	refs := make([]VertexRef, 0, BitmapCount(bm))
+	prev := Round(uint64(round) - 1)
+	BitmapForEach(bm, func(id NodeID) bool {
+		refs = append(refs, VertexRef{Round: prev, Source: id})
+		return true
+	})
+	return refs, b, nil
 }
 
-func unmarshalRefs(b []byte) ([]VertexRef, []byte, error) {
+// unmarshalWeak decodes weak edges as (round delta, source) varint pairs.
+func unmarshalWeak(b []byte, round Round) ([]VertexRef, []byte, error) {
 	cnt, b, err := Uvarint(b)
 	if err != nil {
 		return nil, nil, err
 	}
-	if cnt > uint64(len(b)/32+1) {
-		return nil, nil, fmt.Errorf("types: ref count %d exceeds buffer", cnt)
+	if cnt > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("types: weak-edge count %d exceeds buffer", cnt)
 	}
 	refs := make([]VertexRef, 0, cnt)
 	for i := uint64(0); i < cnt; i++ {
-		var r VertexRef
-		if r, b, err = unmarshalRef(b); err != nil {
+		var delta, src uint64
+		if delta, b, err = Uvarint(b); err != nil {
 			return nil, nil, err
 		}
-		refs = append(refs, r)
+		if src, b, err = Uvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if src > 0xFFFF {
+			return nil, nil, fmt.Errorf("types: weak-edge source %d out of range", src)
+		}
+		refs = append(refs, VertexRef{Round: Round(uint64(round) - delta), Source: NodeID(src)})
 	}
 	return refs, b, nil
 }
