@@ -121,6 +121,21 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 			fmt.Printf("  %s %-45s %-11s %.3f (baseline %.3f, limit %.3f)\n",
 				status, r.Name, "bytes/commit", got, want, limit)
 		}
+		if want, ok := b.Extra["admit_share"]; ok {
+			// The admission benchmark's virtual clock makes the share a
+			// deterministic property of the token-bucket arithmetic
+			// (offered = 2x refill → share 0.5). The floor catches a
+			// refill or eviction bug that collapses admission.
+			checkMin(r.Name, "admit_share", r.Extra["admit_share"], want)
+		}
+		if want, ok := b.Extra["p99_ms"]; ok {
+			// Client e2e p99 through the gateway protocol. Wall-clock on
+			// a shared CI runner, so the gate is deliberately loose:
+			// ±20% plus 25ms absolute slack. It exists to catch
+			// structural regressions (a lost notification path or an
+			// added batching delay is a multiple, not a few percent).
+			check(r.Name, "p99_ms", r.Extra["p99_ms"], want, 25)
+		}
 		if want, ok := b.Extra["tx/s"]; ok {
 			// The parallel execution engine's throughput. The validation
 			// cost is sleep-modeled, so the rate is stable across runners;

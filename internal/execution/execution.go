@@ -160,6 +160,19 @@ func (e *Executor) Get(key []byte) ([]byte, bool) {
 	return e.state.peek(key)
 }
 
+// GetVersioned reads a key plus the version of the write that produced its
+// value — the gateway's f_c+1 read aggregation matches responders on
+// (version, value), so a stale replica holding byte-equal data from an older
+// write still cannot masquerade as current. The value is a copy; ok=false
+// means the key is absent (version 0).
+func (e *Executor) GetVersioned(key []byte) (value []byte, version uint64, ok bool) {
+	value, version = e.state.get(key)
+	if value == nil && version == 0 {
+		return nil, 0, false
+	}
+	return value, version, true
+}
+
 // Len returns the number of live keys.
 func (e *Executor) Len() int { return e.state.length() }
 

@@ -1,0 +1,21 @@
+package gateway_test
+
+import (
+	"testing"
+
+	"clanbft/internal/perfbench"
+)
+
+// BenchmarkGatewayAdmitRate gates the admission hot path: zero allocs/op in
+// steady state and a deterministic admit share on the virtual clock (see
+// cmd/bench -baseline).
+func BenchmarkGatewayAdmitRate(b *testing.B) {
+	perfbench.GatewayAdmitRate(b, 1024)
+}
+
+// BenchmarkClientE2ELatency measures submit→commit-notification latency
+// through the full framed client protocol with consensus stubbed to a 1ms
+// batching committer.
+func BenchmarkClientE2ELatency(b *testing.B) {
+	perfbench.ClientE2ELatency(b)
+}

@@ -1,0 +1,407 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"clanbft/internal/metrics"
+	"clanbft/internal/transport"
+	"clanbft/internal/types"
+)
+
+// Config wires a Gateway to its host node. The gateway deliberately knows
+// nothing about mempool, core, or execution types — the host adapts them into
+// three closures — so the package has no dependency edge back into the
+// pipeline and can front any node flavor (in-process ChanNet clusters, TCP
+// nodes, the harness's wall-clock rigs).
+type Config struct {
+	// Addr is the TCP listen address (use "127.0.0.1:0" for tests).
+	Addr string
+	// Submit injects one admitted transaction into the node's mempool. The
+	// slice is owned by the callee. Required.
+	Submit func(tx []byte)
+	// Depth reports the mempool's true queued depth; consulted inline on
+	// every submission for the overload watermark. Required.
+	Depth func() int
+	// Snapshot exposes the node's pipeline metrics for the exec queue-wait
+	// overload monitor. Optional: nil disables that signal.
+	Snapshot func() metrics.Snapshot
+	// Metrics receives the gateway's instruments (gateway.* namespace).
+	// Pass the node's pipeline registry so PipelineSnapshot carries them;
+	// nil uses a private registry.
+	Metrics *metrics.Registry
+	// Limits is the admission-control configuration (zero value = defaults).
+	Limits Limits
+	// Read configures f_c+1 read aggregation. Zero Responders disables the
+	// read path (reads answer with ReadNoQuorum).
+	Read ReadConfig
+	// MaxTx caps one transaction's byte length (default 64 KiB).
+	MaxTx int
+	// MaxFrame caps one client frame (default 1 MiB) — a hostile length
+	// prefix beyond it is a terminal protocol error before any buffering.
+	MaxFrame int
+	// ReadTimeout is the per-frame read deadline: a frame's bytes must
+	// fully arrive within it, which kills slow-loris trickle and idle
+	// connections alike (default 2 min; clients that only await commit
+	// notifications must submit or re-HELLO within it).
+	ReadTimeout time.Duration
+	// WriteQueue is the per-connection outbound frame queue (default 1024).
+	// A client that cannot drain its queue loses frames (counted in
+	// gateway.slow_drops) rather than stalling the consensus callback.
+	WriteQueue int
+}
+
+// Gateway is the client front door: one TCP listener, one reader goroutine
+// per connection (reusing the transport's pooled-chunk FrameReader), one
+// writer goroutine per connection draining pooled outbound frames, a sharded
+// pending table matching commits back to submitters, and the two-layer
+// admission control from admission.go / backpressure.go.
+type Gateway struct {
+	cfg     Config
+	ln      net.Listener
+	admit   *Admitter
+	monitor *overloadMonitor
+
+	connMu sync.Mutex
+	conns  map[*gwConn]struct{}
+
+	pending [pendingShards]pendingShard
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	once    sync.Once
+
+	// hot-path instruments, resolved once
+	mSubmitted  *metrics.Counter
+	mAdmitted   *metrics.Counter
+	mRejRate    *metrics.Counter
+	mRejLoad    *metrics.Counter
+	mRejLarge   *metrics.Counter
+	mRejMalform *metrics.Counter
+	mProtoErr   *metrics.Counter
+	mReads      *metrics.Counter
+	mSlowDrops  *metrics.Counter
+	mConnected  *metrics.Gauge
+	mPending    *metrics.Gauge
+	mE2E        *metrics.Histogram
+	mReadLat    *metrics.Histogram
+}
+
+const pendingShards = 16
+
+type pendingShard struct {
+	mu   sync.Mutex
+	subs map[[32]byte][]pendingSub
+}
+
+type pendingSub struct {
+	conn   *gwConn
+	client uint64
+	seq    uint64
+	at     time.Time
+}
+
+// gwConn is one client connection. send is safe from any goroutine; the
+// writer goroutine owns the socket's write side and recycles pooled frames.
+type gwConn struct {
+	c      net.Conn
+	out    chan []byte
+	mu     sync.Mutex
+	closed bool
+}
+
+// send enqueues a pooled frame for the writer, taking ownership. Returns
+// false (and recycles the frame) when the connection is closed or its queue
+// is full — callers on the consensus notification path must never block.
+func (c *gwConn) send(frame []byte) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		types.PutBuf(frame)
+		return false
+	}
+	select {
+	case c.out <- frame:
+		c.mu.Unlock()
+		return true
+	default:
+		c.mu.Unlock()
+		types.PutBuf(frame)
+		return false
+	}
+}
+
+func (c *gwConn) close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.out)
+	}
+	c.mu.Unlock()
+	c.c.Close()
+}
+
+// New starts a gateway listening on cfg.Addr.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Submit == nil || cfg.Depth == nil {
+		return nil, fmt.Errorf("gateway: Config.Submit and Config.Depth are required")
+	}
+	cfg.Limits.fill()
+	if cfg.MaxTx == 0 {
+		cfg.MaxTx = 64 << 10
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = 1 << 20
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	if cfg.WriteQueue == 0 {
+		cfg.WriteQueue = 1024
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen %s: %w", cfg.Addr, err)
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		ln:      ln,
+		admit:   NewAdmitter(cfg.Limits),
+		monitor: newOverloadMonitor(cfg.Snapshot, cfg.Limits),
+		conns:   map[*gwConn]struct{}{},
+		closing: make(chan struct{}),
+	}
+	for i := range g.pending {
+		g.pending[i].subs = map[[32]byte][]pendingSub{}
+	}
+	r := cfg.Metrics
+	g.mSubmitted = r.Counter("gateway.submissions")
+	g.mAdmitted = r.Counter("gateway.admitted")
+	g.mRejRate = r.Counter("gateway.rejected_ratelimit")
+	g.mRejLoad = r.Counter("gateway.rejected_overload")
+	g.mRejLarge = r.Counter("gateway.rejected_toolarge")
+	g.mRejMalform = r.Counter("gateway.rejected_malformed")
+	g.mProtoErr = r.Counter("gateway.protocol_errors")
+	g.mReads = r.Counter("gateway.reads")
+	g.mSlowDrops = r.Counter("gateway.slow_drops")
+	g.mConnected = r.Gauge("gateway.connected")
+	g.mPending = r.Gauge("gateway.pending")
+	g.mE2E = r.Histogram("gateway.e2e_latency")
+	g.mReadLat = r.Histogram("gateway.read_latency")
+	mon := g.monitor
+	r.OnSnapshot(func(s *metrics.Snapshot) {
+		s.SetGauge("gateway.exec_wait_p95_ns", int64(mon.P95()))
+	})
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" configs).
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops the listener, severs every connection, and waits for the
+// per-connection goroutines and the overload monitor to drain.
+func (g *Gateway) Close() {
+	g.once.Do(func() {
+		close(g.closing)
+		g.ln.Close()
+		g.connMu.Lock()
+		for c := range g.conns {
+			c.close()
+		}
+		g.connMu.Unlock()
+	})
+	g.wg.Wait()
+	g.monitor.Close()
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		c, err := g.ln.Accept()
+		if err != nil {
+			select {
+			case <-g.closing:
+				return
+			default:
+			}
+			return
+		}
+		gc := &gwConn{c: c, out: make(chan []byte, g.cfg.WriteQueue)}
+		g.connMu.Lock()
+		g.conns[gc] = struct{}{}
+		g.connMu.Unlock()
+		g.mConnected.Add(1)
+		g.wg.Add(2)
+		go g.readLoop(gc)
+		go g.writeLoop(gc)
+	}
+}
+
+func (g *Gateway) dropConn(gc *gwConn) {
+	gc.close()
+	g.connMu.Lock()
+	if _, ok := g.conns[gc]; ok {
+		delete(g.conns, gc)
+		g.mConnected.Add(-1)
+	}
+	g.connMu.Unlock()
+}
+
+// writeLoop drains the connection's outbound queue onto the socket and
+// recycles each pooled frame after the write.
+func (g *Gateway) writeLoop(gc *gwConn) {
+	defer g.wg.Done()
+	for frame := range gc.out {
+		_, err := gc.c.Write(frame)
+		types.PutBuf(frame)
+		if err != nil {
+			break
+		}
+	}
+	// Drain anything enqueued between the failed write and close so pooled
+	// frames are not leaked.
+	for frame := range gc.out {
+		types.PutBuf(frame)
+	}
+}
+
+// readLoop parses client frames off the connection. Protocol errors and
+// deadline expiry are terminal, mirroring the peer transport's contract.
+func (g *Gateway) readLoop(gc *gwConn) {
+	defer g.wg.Done()
+	defer g.dropConn(gc)
+	fr := transport.NewFrameReader(gc.c, nil)
+	fr.SetMaxFrame(g.cfg.MaxFrame)
+	defer fr.Close()
+	for {
+		// Absolute deadline per frame: however many Read syscalls the frame
+		// takes, its bytes must land within ReadTimeout — a trickling
+		// slow-loris sender is cut off, not accommodated.
+		gc.c.SetReadDeadline(time.Now().Add(g.cfg.ReadTimeout))
+		body, _, err := fr.Next()
+		if err != nil {
+			return
+		}
+		msg, perr := parseClientMsg(body)
+		if perr != nil {
+			g.mProtoErr.Inc()
+			return
+		}
+		switch msg.kind {
+		case MsgHello:
+			fc := uint64(g.cfg.Read.FaultBound)
+			gc.send(encHelloAck(fc, uint64(g.cfg.MaxTx)))
+		case MsgSubmit:
+			g.handleSubmit(gc, msg)
+		case MsgRead:
+			g.mReads.Inc()
+			// Aggregation can block up to Read.Timeout; keep the reader
+			// loop (and this client's submissions) flowing meanwhile.
+			key := append([]byte(nil), msg.payload...)
+			g.wg.Add(1)
+			go g.handleRead(gc, msg.client, msg.seq, key)
+		}
+	}
+}
+
+// handleSubmit runs the full admission ladder on one submission. Order
+// matters: cheap shape checks, then the per-client bucket (so one client's
+// flood spends its own budget before touching global state), then the global
+// overload signals. Only an admitted transaction is copied out of the
+// receive chunk.
+func (g *Gateway) handleSubmit(gc *gwConn, msg clientMsg) {
+	g.mSubmitted.Inc()
+	if len(msg.payload) == 0 {
+		g.mRejMalform.Inc()
+		gc.send(encReject(msg.client, msg.seq, RejectMalformed))
+		return
+	}
+	if len(msg.payload) > g.cfg.MaxTx {
+		g.mRejLarge.Inc()
+		gc.send(encReject(msg.client, msg.seq, RejectTooLarge))
+		return
+	}
+	now := time.Now()
+	if !g.admit.TryAdmit(msg.client, now.UnixNano()) {
+		g.mRejRate.Inc()
+		gc.send(encReject(msg.client, msg.seq, RejectRateLimit))
+		return
+	}
+	if g.cfg.Depth() > g.cfg.Limits.MempoolHigh ||
+		int(g.mPending.Load()) >= g.cfg.Limits.MaxPending ||
+		g.monitor.Overloaded() {
+		g.mRejLoad.Inc()
+		gc.send(encReject(msg.client, msg.seq, RejectOverload))
+		return
+	}
+	tx := append([]byte(nil), msg.payload...)
+	g.registerPending(tx, pendingSub{conn: gc, client: msg.client, seq: msg.seq, at: now})
+	g.cfg.Submit(tx)
+	g.mAdmitted.Inc()
+	gc.send(encAck(msg.client, msg.seq))
+}
+
+func (g *Gateway) handleRead(gc *gwConn, client, seq uint64, key []byte) {
+	defer g.wg.Done()
+	start := time.Now()
+	res := aggregateRead(g.cfg.Read, key)
+	g.mReadLat.Observe(time.Since(start))
+	if res.errCode != 0 {
+		gc.send(encReadErr(client, seq, res.errCode))
+		return
+	}
+	val := res.value
+	if !res.found {
+		val = nil
+	}
+	gc.send(encValue(client, seq, byte(res.quorum), val))
+}
+
+func (g *Gateway) registerPending(tx []byte, sub pendingSub) {
+	d := sha256.Sum256(tx)
+	sh := &g.pending[d[0]&(pendingShards-1)]
+	sh.mu.Lock()
+	sh.subs[d] = append(sh.subs[d], sub)
+	sh.mu.Unlock()
+	g.mPending.Add(1)
+}
+
+// NotifyCommitted is the host's bridge from the consensus commit callback:
+// for every transaction in a committed block, the gateway resolves waiting
+// submitters by digest, streams MsgCommit frames, and records end-to-end
+// latency (client submit seen → commit notified). Safe to call from the
+// pipeline's delivery goroutine: sends never block (slow consumers drop).
+func (g *Gateway) NotifyCommitted(round uint64, txs [][]byte) {
+	now := time.Now()
+	for _, tx := range txs {
+		d := sha256.Sum256(tx)
+		sh := &g.pending[d[0]&(pendingShards-1)]
+		sh.mu.Lock()
+		subs, ok := sh.subs[d]
+		if ok {
+			delete(sh.subs, d)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			continue // generator traffic or a tx admitted by another gateway
+		}
+		g.mPending.Add(-int64(len(subs)))
+		for _, sub := range subs {
+			g.mE2E.Observe(now.Sub(sub.at))
+			if !sub.conn.send(encCommit(sub.client, sub.seq, round)) {
+				g.mSlowDrops.Inc()
+			}
+		}
+	}
+}
+
+// PendingCount reports transactions awaiting commit notification (tests).
+func (g *Gateway) PendingCount() int { return int(g.mPending.Load()) }

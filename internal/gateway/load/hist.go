@@ -1,0 +1,154 @@
+package load
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a latency histogram with 8 sub-buckets per octave — bucket i's
+// upper bound is 1µs·2^(i/8), i.e. bounds grow by ~9% per bucket. The
+// metrics spine's power-of-two Histogram is the right cost for hot pipeline
+// paths, but a p999 read off buckets that are 2× apart can be off by 100%;
+// tail-latency reporting needs the finer resolution and can afford a binary
+// search per observation. Observe is lock-free (atomic bucket counters), so
+// every generator connection records into one shared instance.
+type Hist struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// histBuckets spans 1µs·2^(0/8) .. 1µs·2^(254/8) ≈ 2.3h, plus overflow.
+const histBuckets = 256
+
+var histBounds = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	for i := 0; i < histBuckets-1; i++ {
+		b[i] = int64(math.Ceil(1000 * math.Pow(2, float64(i)/8)))
+	}
+	b[histBuckets-1] = math.MaxInt64
+	return b
+}()
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	i := sort.Search(histBuckets-1, func(i int) bool { return histBounds[i] >= ns })
+	h.buckets[i].Add(1)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest observation.
+func (h *Hist) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Mean returns the average observation (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / int64(n))
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// (conservative within ~9%); 0 when empty.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(n))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			b := time.Duration(histBounds[i])
+			if max := h.Max(); b > max && max > 0 {
+				return max
+			}
+			return b
+		}
+	}
+	return h.Max()
+}
+
+// HistJSON is the artifact schema for dumped histograms (CI uploads it so a
+// regression investigation can see the whole distribution, not just the
+// gated quantiles).
+type HistJSON struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	SumNs   int64        `json:"sum_ns"`
+	MaxNs   int64        `json:"max_ns"`
+	P50Ns   int64        `json:"p50_ns"`
+	P99Ns   int64        `json:"p99_ns"`
+	P999Ns  int64        `json:"p999_ns"`
+	Buckets []BucketJSON `json:"buckets"` // non-empty buckets only
+}
+
+// BucketJSON is one non-empty histogram bucket.
+type BucketJSON struct {
+	LeNs  int64  `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// ToJSON renders the histogram for the artifact file.
+func (h *Hist) ToJSON(name string) HistJSON {
+	out := HistJSON{
+		Name:   name,
+		Count:  h.count.Load(),
+		SumNs:  h.sumNs.Load(),
+		MaxNs:  h.maxNs.Load(),
+		P50Ns:  int64(h.Quantile(0.50)),
+		P99Ns:  int64(h.Quantile(0.99)),
+		P999Ns: int64(h.Quantile(0.999)),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			out.Buckets = append(out.Buckets, BucketJSON{LeNs: histBounds[i], Count: c})
+		}
+	}
+	return out
+}
+
+// WriteHistFile dumps named histograms as a JSON artifact.
+func WriteHistFile(path string, hists map[string]*Hist) error {
+	var out []HistJSON
+	names := make([]string, 0, len(hists))
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, hists[n].ToJSON(n))
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"bytes"
+	"time"
+)
+
+// StateReader answers a point read against one replica's executed state.
+// Version is the write-version of the key (monotone per key under the
+// deterministic executor), which lets the aggregator distinguish "same value
+// at the same height" from a stale replica that happens to hold equal bytes
+// from an older write. ok=false means the key is absent on that replica.
+type StateReader interface {
+	ReadKey(key []byte) (value []byte, version uint64, ok bool)
+}
+
+// StateReaderFunc adapts a closure to StateReader.
+type StateReaderFunc func(key []byte) ([]byte, uint64, bool)
+
+// ReadKey implements StateReader.
+func (f StateReaderFunc) ReadKey(key []byte) ([]byte, uint64, bool) { return f(key) }
+
+// ReadConfig wires the gateway's read path. Reads bypass consensus entirely:
+// the paper's clan model answers them with f_c+1 matching responses from clan
+// members, which is sound because any f_c+1 set contains at least one honest
+// replica, and honest replicas agree on executed state at a given version.
+type ReadConfig struct {
+	// Responders are the replicas the gateway can consult. The first entry
+	// conventionally is the gateway's own node (always consulted first).
+	Responders []StateReader
+	// FaultBound is f_c for the serving clan; a read needs FaultBound+1
+	// matching (version, value) responses.
+	FaultBound int
+	// Timeout bounds one aggregated read (default 1s). Responders that do
+	// not answer in time simply don't contribute to the quorum.
+	Timeout time.Duration
+}
+
+// readResult is one aggregated read outcome.
+type readResult struct {
+	value   []byte
+	version uint64
+	found   bool // false: quorum agreed the key is absent
+	quorum  int  // matching responses backing the answer
+	errCode byte // 0 on success, else ReadNoQuorum / ReadTimeout
+}
+
+type readResp struct {
+	value   []byte
+	version uint64
+	ok      bool
+	timeout bool
+}
+
+// aggregateRead fans the key out to every responder and returns as soon as
+// f_c+1 responses agree on (found, version, value). Responders run on their
+// own goroutines so one slow replica cannot stall the read past Timeout.
+func aggregateRead(cfg ReadConfig, key []byte) readResult {
+	need := cfg.FaultBound + 1
+	if need > len(cfg.Responders) {
+		return readResult{errCode: ReadNoQuorum}
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = time.Second
+	}
+	ch := make(chan readResp, len(cfg.Responders))
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for _, r := range cfg.Responders {
+		go func(r StateReader) {
+			v, ver, ok := r.ReadKey(key)
+			ch <- readResp{value: v, version: ver, ok: ok}
+		}(r)
+	}
+
+	// Group responses by (found, version, value). With small quorums (f_c is
+	// 1–2 in every deployment the paper sizes) a linear scan over groups is
+	// cheaper than hashing the values.
+	type group struct {
+		resp  readResp
+		count int
+	}
+	var groups []group
+	answered := 0
+	for answered < len(cfg.Responders) {
+		var resp readResp
+		select {
+		case resp = <-ch:
+		case <-deadline.C:
+			return readResult{errCode: ReadTimeout}
+		}
+		answered++
+		matched := false
+		for i := range groups {
+			g := &groups[i]
+			if g.resp.ok == resp.ok && g.resp.version == resp.version &&
+				(!resp.ok || bytes.Equal(g.resp.value, resp.value)) {
+				g.count++
+				matched = true
+				if g.count >= need {
+					return readResult{
+						value:   g.resp.value,
+						version: g.resp.version,
+						found:   g.resp.ok,
+						quorum:  g.count,
+					}
+				}
+				break
+			}
+		}
+		if !matched {
+			groups = append(groups, group{resp: resp, count: 1})
+			if need == 1 {
+				return readResult{value: resp.value, version: resp.version, found: resp.ok, quorum: 1}
+			}
+		}
+	}
+	// Everyone answered but no group reached f_c+1: replicas are split across
+	// versions (e.g. a read raced a commit and responders straddle it). The
+	// client retries; unlike writes there is no state to clean up.
+	return readResult{errCode: ReadNoQuorum}
+}

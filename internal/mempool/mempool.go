@@ -7,6 +7,7 @@ package mempool
 import (
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"clanbft/internal/types"
 )
@@ -60,15 +61,28 @@ func (g *Generator) NextBlock(r types.Round) *types.Block {
 	return b
 }
 
+// queueRetainCap bounds the queue backing array kept across a full drain;
+// anything larger is released to the allocator so a one-off burst does not
+// pin megabytes of dead capacity for the pool's lifetime.
+const queueRetainCap = 1024
+
 // Pool is a thread-safe transaction queue for applications: clients Submit
 // transactions, the proposer drains up to MaxPerBlock of them per round.
 // Pool implements core.BlockSource.
+//
+// Depth is maintained as an atomic alongside the queue, updated inside the
+// same critical section that mutates it, so concurrent readers (the gateway's
+// admission control, which keys backpressure off mempool depth) always see
+// the true post-mutation depth without taking the queue lock — not a stale
+// snapshot that lags a concurrent submit or drain.
 type Pool struct {
 	mu          sync.Mutex
-	queue       [][]byte
+	queue       [][]byte // live region is queue[head:]
+	head        int
 	MaxPerBlock int
-	// Submitted counts all accepted transactions.
-	Submitted int
+
+	depth     atomic.Int64
+	submitted atomic.Uint64
 }
 
 // NewPool creates a pool draining at most maxPerBlock transactions per
@@ -85,31 +99,57 @@ func NewPool(maxPerBlock int) *Pool {
 func (p *Pool) Submit(tx []byte) {
 	p.mu.Lock()
 	p.queue = append(p.queue, tx)
-	p.Submitted++
+	p.depth.Store(int64(len(p.queue) - p.head))
 	p.mu.Unlock()
+	p.submitted.Add(1)
 }
 
-// Len returns the number of queued transactions.
-func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)
-}
+// Depth returns the number of queued transactions. It is lock-free and
+// exact: the value is published inside the Submit/NextBlock critical
+// sections, so a reader racing a drain observes either the pre- or
+// post-drain depth, never an inconsistent intermediate.
+func (p *Pool) Depth() int { return int(p.depth.Load()) }
+
+// Len returns the number of queued transactions (alias of Depth, kept for
+// existing callers).
+func (p *Pool) Len() int { return p.Depth() }
+
+// Submitted counts all transactions ever accepted.
+func (p *Pool) Submitted() uint64 { return p.submitted.Load() }
 
 // NextBlock drains up to MaxPerBlock queued transactions. Returns nil when
 // the pool is empty (an empty proposal keeps the DAG advancing without
 // payload overhead).
+//
+// Drained slots are zeroed and the backing array is released after a full
+// drain (beyond a small retained capacity) — the previous implementation
+// re-sliced the queue forward, leaving every drained transaction pinned by
+// the backing array until the next reallocation.
 func (p *Pool) NextBlock(r types.Round) *types.Block {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.queue) == 0 {
+	live := len(p.queue) - p.head
+	if live == 0 {
 		return nil
 	}
-	n := len(p.queue)
+	n := live
 	if n > p.MaxPerBlock {
 		n = p.MaxPerBlock
 	}
-	b := &types.Block{Txs: p.queue[:n:n]}
-	p.queue = p.queue[n:]
-	return b
+	txs := make([][]byte, n)
+	copy(txs, p.queue[p.head:p.head+n])
+	for i := p.head; i < p.head+n; i++ {
+		p.queue[i] = nil // unpin drained transactions immediately
+	}
+	p.head += n
+	if p.head == len(p.queue) {
+		if cap(p.queue) > queueRetainCap {
+			p.queue = nil
+		} else {
+			p.queue = p.queue[:0]
+		}
+		p.head = 0
+	}
+	p.depth.Store(int64(len(p.queue) - p.head))
+	return &types.Block{Txs: txs}
 }

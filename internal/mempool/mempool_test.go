@@ -68,8 +68,8 @@ func TestPoolDrain(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		p.Submit([]byte{byte(i)})
 	}
-	if p.Len() != 7 || p.Submitted != 7 {
-		t.Fatalf("len=%d submitted=%d", p.Len(), p.Submitted)
+	if p.Len() != 7 || p.Submitted() != 7 {
+		t.Fatalf("len=%d submitted=%d", p.Len(), p.Submitted())
 	}
 	var got []byte
 	for r := types.Round(0); ; r++ {
@@ -91,6 +91,94 @@ func TestPoolDrain(t *testing.T) {
 		if int(v) != i {
 			t.Fatal("FIFO order broken")
 		}
+	}
+}
+
+// TestPoolDepthConcurrent races submitters against a drainer while a third
+// set of goroutines continuously reads Depth, asserting the published depth
+// is always consistent with what was actually submitted and drained: never
+// negative, never above the outstanding count at any linearization point.
+// Run under -race this pins the depth-accounting contract the gateway's
+// admission control depends on (backpressure must trigger on the true depth,
+// not a stale snapshot).
+func TestPoolDepthConcurrent(t *testing.T) {
+	p := NewPool(7)
+	const (
+		submitters   = 4
+		perSubmitter = 2000
+		total        = submitters * perSubmitter
+	)
+	stop := make(chan struct{})
+	var watchers sync.WaitGroup
+
+	// Depth watchers: the invariant 0 <= depth <= total must hold at every
+	// instant, concurrently with submits and drains.
+	for w := 0; w < 2; w++ {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d := p.Depth(); d < 0 || d > total {
+					t.Errorf("depth %d out of range", d)
+					return
+				}
+			}
+		}()
+	}
+
+	var work sync.WaitGroup
+	work.Add(1)
+	go func() {
+		defer work.Done()
+		drained := 0
+		for drained < total {
+			if b := p.NextBlock(0); b != nil {
+				drained += len(b.Txs)
+			}
+		}
+	}()
+	for g := 0; g < submitters; g++ {
+		work.Add(1)
+		go func() {
+			defer work.Done()
+			for i := 0; i < perSubmitter; i++ {
+				p.Submit([]byte{1})
+			}
+		}()
+	}
+	work.Wait()
+	close(stop)
+	watchers.Wait()
+	if p.Depth() != 0 {
+		t.Fatalf("final depth %d, want 0", p.Depth())
+	}
+	if p.Submitted() != total {
+		t.Fatalf("submitted %d, want %d", p.Submitted(), total)
+	}
+}
+
+// TestPoolReleasesDrainedPrefix checks that a fully drained pool does not
+// keep a burst-sized backing array (and every drained transaction in it)
+// pinned: slots are nilled as they drain and oversized arrays are dropped.
+func TestPoolReleasesDrainedPrefix(t *testing.T) {
+	p := NewPool(64)
+	for i := 0; i < 5000; i++ {
+		p.Submit(make([]byte, 64))
+	}
+	for p.NextBlock(0) != nil {
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cap(p.queue) > queueRetainCap {
+		t.Fatalf("drained pool retains cap %d (> %d)", cap(p.queue), queueRetainCap)
+	}
+	if p.head != 0 || len(p.queue) != 0 {
+		t.Fatalf("head=%d len=%d after full drain", p.head, len(p.queue))
 	}
 }
 

@@ -148,6 +148,30 @@ func (s HistSnapshot) Quantile(q float64) time.Duration {
 	return s.Max
 }
 
+// Since returns the distribution of observations recorded between prev and
+// s (both snapshots of the same histogram, prev taken earlier): bucket-wise
+// and count/sum differences. Periodic samplers use it to compute windowed
+// quantiles — e.g. the gateway's overload monitor reads the p95 of
+// exec.queue_wait over the last sampling period, not over the node's whole
+// lifetime. Max cannot be differenced and reports the cumulative maximum.
+func (s HistSnapshot) Since(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Max: s.Max, Buckets: make([]uint64, len(s.Buckets))}
+	if s.Count >= prev.Count {
+		out.Count = s.Count - prev.Count
+	}
+	if s.Sum >= prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	for i := range s.Buckets {
+		b := s.Buckets[i]
+		if i < len(prev.Buckets) && prev.Buckets[i] <= b {
+			b -= prev.Buckets[i]
+		}
+		out.Buckets[i] = b
+	}
+	return out
+}
+
 // merge folds other into s.
 func (s *HistSnapshot) merge(other HistSnapshot) {
 	s.Count += other.Count

@@ -1,0 +1,135 @@
+package perfbench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"clanbft/internal/gateway"
+	"clanbft/internal/gateway/load"
+)
+
+// GatewayAdmitRate measures the admission hot path: TryAdmit over a rotating
+// population of `clients` token buckets on a virtual clock. Virtual time
+// makes the admit share deterministic — each op advances the clock by a
+// fixed step chosen so the offered rate is exactly twice the population's
+// aggregate refill rate, so the steady-state admit share converges to 0.5
+// regardless of the runner's speed. The gates: allocs/op must stay at zero
+// (steady-state admission allocates nothing: buckets are reused, the hot
+// path is two map operations and float arithmetic), and admit_share must not
+// collapse (a refill-accounting bug shows up as 0 or 1).
+func GatewayAdmitRate(b *testing.B, clients int) {
+	const ratePerClient = 100.0
+	a := gateway.NewAdmitter(gateway.Limits{
+		ClientRate:  ratePerClient,
+		ClientBurst: 8, // small burst so the transient dies quickly
+		MaxClients:  clients * 2,
+	})
+	// Offered rate = 2x aggregate refill: one op per step, step sized so
+	// clients*rate tokens regenerate per 2 ops.
+	stepNs := int64(float64(time.Second) / (2 * ratePerClient * float64(clients)))
+	now := int64(1)
+	// Prime every bucket (first sight allocates; steady state must not).
+	for c := 0; c < clients; c++ {
+		a.TryAdmit(uint64(c), now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	admitted := 0
+	for i := 0; i < b.N; i++ {
+		now += stepNs
+		if a.TryAdmit(uint64(i%clients), now) {
+			admitted++
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(admitted)/float64(b.N), "admit_share")
+	}
+}
+
+// ClientE2ELatency measures the serving front door's round trip over real
+// sockets with consensus stubbed out: a gateway whose Submit feeds a
+// batching committer goroutine (1ms commit cadence, the floor a fast DAG
+// round imposes), and a client that submits and waits for the streamed
+// commit notification. ns/op is therefore submit→commit latency through the
+// full framed-protocol path — client encode, TCP, FrameReader, admission,
+// digest registration, commit matching, notification frame, client decode —
+// and p50_ms/p99_ms report its distribution. Gated with generous absolute
+// slack (CI runners jitter), mainly to catch structural regressions: an
+// extra batching delay or a lost notification path shows up as a multiple,
+// not a few percent.
+func ClientE2ELatency(b *testing.B) {
+	var mu sync.Mutex
+	var queue [][]byte
+	gw, err := gateway.New(gateway.Config{
+		Addr: "127.0.0.1:0",
+		Submit: func(tx []byte) {
+			mu.Lock()
+			queue = append(queue, tx)
+			mu.Unlock()
+		},
+		Depth:  func() int { mu.Lock(); defer mu.Unlock(); return len(queue) },
+		Limits: gateway.Limits{ClientRate: 1e9},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	stop := make(chan struct{})
+	var committerWG sync.WaitGroup
+	committerWG.Add(1)
+	go func() {
+		defer committerWG.Done()
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		round := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			mu.Lock()
+			batch := queue
+			queue = nil
+			mu.Unlock()
+			if len(batch) > 0 {
+				round++
+				gw.NotifyCommitted(round, batch)
+			}
+		}
+	}()
+	defer func() { close(stop); committerWG.Wait() }()
+
+	hist := load.NewHist()
+	committed := make(chan struct{}, 64)
+	cl, err := gateway.Dial(gw.Addr(), func(ev gateway.ServerEvent) {
+		if ev.Kind == gateway.MsgCommit {
+			committed <- struct{}{}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx[0], tx[1], tx[2], tx[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		start := time.Now()
+		if err := cl.Submit(1, uint64(i), tx); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-committed:
+			hist.Observe(time.Since(start))
+		case <-time.After(10 * time.Second):
+			b.Fatal("commit notification timed out")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hist.Quantile(0.50))/1e6, "p50_ms")
+	b.ReportMetric(float64(hist.Quantile(0.99))/1e6, "p99_ms")
+}

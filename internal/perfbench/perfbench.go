@@ -433,9 +433,12 @@ func Run(name string, fn func(b *testing.B)) Row {
 // writer counts (fsyncs/op must stay below one), the end-to-end pipeline
 // (commits/sec must not fall), the parallel execution engine's
 // tx/s-vs-dependency-rate sweep (tx/s must not fall; 8 workers at 0%
-// conflict must stay well above the serial row), and the sparse-edge DAG
+// conflict must stay well above the serial row), the sparse-edge DAG
 // cell at n=50 in both edge modes (bytes/commit must not rise, commits/sec
-// must not fall).
+// must not fall), and the serving front door: admission-control throughput
+// (allocs/op must stay zero, admit_share must hold its deterministic value)
+// and client end-to-end latency through the gateway protocol (p99_ms with
+// generous slack).
 func Suite(verbose io.Writer) []Row {
 	rows := []Row{
 		Run("MulticastEncodeOnce/peers=4/payload=1MiB", func(b *testing.B) { MulticastEncodeOnce(b, 4, 1<<20) }),
@@ -453,6 +456,8 @@ func Suite(verbose io.Writer) []Row {
 		Run("ParallelExecTxRate/workers=8/conflict=50", func(b *testing.B) { ParallelExecTxRate(b, 8, 50) }),
 		Run("SparseDagScale/n=50/dense", func(b *testing.B) { SparseDagScale(b, 50, false) }),
 		Run("SparseDagScale/n=50/sparse", func(b *testing.B) { SparseDagScale(b, 50, true) }),
+		Run("GatewayAdmitRate/clients=1024", func(b *testing.B) { GatewayAdmitRate(b, 1024) }),
+		Run("ClientE2ELatency/stub-consensus", ClientE2ELatency),
 	}
 	if verbose != nil {
 		for _, r := range rows {

@@ -34,11 +34,12 @@ type frameReader struct {
 	buf        *types.RecvBuf
 	off        int // consume offset into buf
 	end        int // fill offset into buf
+	limit      int // max accepted frame length (maxFrame unless overridden)
 	allocBytes *atomic.Uint64
 }
 
 func newFrameReader(r io.Reader, allocBytes *atomic.Uint64) *frameReader {
-	return &frameReader{r: r, buf: types.NewRecvBuf(rxChunk), allocBytes: allocBytes}
+	return &frameReader{r: r, buf: types.NewRecvBuf(rxChunk), limit: maxFrame, allocBytes: allocBytes}
 }
 
 // next returns the body of the next frame, aliasing the current chunk, plus
@@ -51,7 +52,7 @@ func (fr *frameReader) next() ([]byte, *types.RecvBuf, error) {
 		return nil, nil, err
 	}
 	n := binary.BigEndian.Uint32(fr.buf.Bytes()[fr.off:])
-	if n == 0 || n > maxFrame {
+	if n == 0 || n > uint32(fr.limit) {
 		return nil, nil, fmt.Errorf("transport: frame length %d out of range", n)
 	}
 	fr.off += 4
@@ -109,3 +110,43 @@ func (fr *frameReader) close() {
 		fr.buf = nil
 	}
 }
+
+// FrameReader is the exported face of the zero-copy length-prefixed frame
+// reader, shared with subsystems that speak the same `uint32 length | body`
+// framing over their own sockets — the client gateway's front door reuses it
+// so client submissions flow through the identical pooled-chunk plumbing as
+// peer traffic. See frameReader for the aliasing/refcount contract.
+type FrameReader struct {
+	fr frameReader
+}
+
+// NewFrameReader wraps r in a pooled-chunk frame reader. allocBytes, when
+// non-nil, accrues the reader's off-pool copies (tail carries and oversized
+// dedicated buffers) exactly like the transport's rx_alloc_bytes accounting;
+// nil uses a private counter.
+func NewFrameReader(r io.Reader, allocBytes *atomic.Uint64) *FrameReader {
+	if allocBytes == nil {
+		allocBytes = new(atomic.Uint64)
+	}
+	return &FrameReader{fr: frameReader{r: r, buf: types.NewRecvBuf(rxChunk), limit: maxFrame, allocBytes: allocBytes}}
+}
+
+// SetMaxFrame lowers the accepted frame length (default: the transport-wide
+// 64 MiB bound). A length prefix above the limit is a terminal protocol
+// error — client-facing listeners set a much smaller cap so a hostile
+// 4-byte prefix cannot make the server commit to buffering megabytes.
+func (r *FrameReader) SetMaxFrame(n int) {
+	if n > 0 && n <= maxFrame {
+		r.fr.limit = n
+	}
+}
+
+// Next returns the next frame body aliasing the current pooled chunk, plus
+// the chunk for Retain/Release bookkeeping. The slice is valid until the
+// reader swaps chunks or Close runs; callers that hand the bytes to another
+// goroutine must Retain the chunk (or copy). Errors are terminal: close the
+// connection.
+func (r *FrameReader) Next() ([]byte, *types.RecvBuf, error) { return r.fr.next() }
+
+// Close drops the reader's chunk reference.
+func (r *FrameReader) Close() { r.fr.close() }

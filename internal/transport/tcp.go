@@ -127,6 +127,19 @@ func (e *TCPEndpoint) SetCoalescing(cfg CoalesceConfig) { e.coalesce.Store(&cfg)
 // Addr returns the endpoint's bound listen address (useful with ":0").
 func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 
+// SetPeerAddr rebinds one peer's dial address. It exists for bootstrap
+// choreography where every node listens on ":0" first and the real ports are
+// exchanged afterwards (cmd/loadgen's self-hosted cluster, the TCP tests).
+// Must be called before any traffic flows toward the peer: the address book
+// is read without synchronization by writer goroutines once dials begin.
+func (e *TCPEndpoint) SetPeerAddr(id types.NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.addrs[id]; ok {
+		e.addrs[id] = addr
+	}
+}
+
 // Clock returns a wall clock whose callbacks are serialized with this
 // endpoint's handler.
 func (e *TCPEndpoint) Clock() Clock { return e.clock }

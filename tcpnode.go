@@ -135,6 +135,25 @@ func (n *TCPNode) Submit(tx []byte) { n.pool.Submit(tx) }
 // Clans returns the deployment's clan composition.
 func (n *TCPNode) Clans() [][]NodeID { return n.clans }
 
+// FaultBound returns f_c for this node's clan — the number of clan members
+// that may fail while clients still obtain f_c+1 matching read responses.
+func (n *TCPNode) FaultBound() int {
+	for _, cl := range n.clans {
+		for _, m := range cl {
+			if m == n.opts.Self {
+				return committee.ClanMaxFaulty(len(cl))
+			}
+		}
+	}
+	return committee.ClanMaxFaulty(n.opts.N)
+}
+
+// SetPeerAddr updates one peer's dial address before traffic flows to it.
+// This is the ":0" bootstrap choreography: create every node with
+// placeholder addresses, read the real ones off Addr(), exchange them, fix
+// the books with SetPeerAddr, then Start.
+func (n *TCPNode) SetPeerAddr(id NodeID, addr string) { n.ep.SetPeerAddr(id, addr) }
+
 // Metrics returns the node's consensus counters.
 func (n *TCPNode) Metrics() core.Metrics { return n.node.MetricsSnapshot() }
 
