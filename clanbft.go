@@ -56,6 +56,21 @@ type NodeID = types.NodeID
 // Commit is one entry of the total order.
 type Commit = core.CommittedVertex
 
+// ReconfigTx is a signed membership transaction (join or leave). It is
+// committed through the total order like any transaction; when ordered it
+// schedules an epoch fence at which the clan sampler re-runs over the new
+// member set. See core.EpochInfo and DESIGN.md "Epoch reconfiguration".
+type ReconfigTx = types.ReconfigTx
+
+// Reconfiguration actions.
+const (
+	ReconfigJoin  = types.ReconfigJoin
+	ReconfigLeave = types.ReconfigLeave
+)
+
+// EpochInfo describes one epoch: its fence round, member set, and clans.
+type EpochInfo = core.EpochInfo
+
 // Options configures a cluster.
 type Options struct {
 	// N is the number of parties (minimum 4).
@@ -109,6 +124,15 @@ type Options struct {
 	StoreDir string
 	// Seed drives deterministic key generation and clan sampling.
 	Seed int64
+	// Members lists the parties active in epoch 0 (nil = all N). N stays
+	// the universe capacity: every party holds a key and may join later
+	// through a committed ReconfigTx; non-members run as observers that
+	// track the DAG until a fence admits them.
+	Members []NodeID
+	// ReconfigDelay is the round gap between a committed ReconfigTx and
+	// its epoch fence (default 32; tests use smaller values to cross
+	// fences quickly).
+	ReconfigDelay types.Round
 	// SparseEdges enables the metadata-lean DAG mode: each proposal keeps
 	// strong edges to the previous round's leader vertices and a
 	// deterministic 2f+1-sized sample of the remaining parents, and the
@@ -193,9 +217,17 @@ func NewCluster(o Options) (*Cluster, error) {
 		if size == 0 {
 			size = PlanClanSize(o.N, o.FailureProb)
 		}
-		c.clans = [][]types.NodeID{committee.SampleClan(o.N, size, o.Seed+2)}
+		if o.Members != nil {
+			c.clans = [][]types.NodeID{committee.SampleClanMembers(o.Members, min(size, len(o.Members)), o.Seed+2)}
+		} else {
+			c.clans = [][]types.NodeID{committee.SampleClan(o.N, size, o.Seed+2)}
+		}
 	case ModeMultiClan:
-		c.clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
+		if o.Members != nil {
+			c.clans = committee.PartitionMembers(o.Members, o.NumClans, o.Seed+2)
+		} else {
+			c.clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
+		}
 	}
 
 	// With real signature checking on, front every node's mailbox with a
@@ -236,6 +268,8 @@ func NewCluster(o Options) (*Cluster, error) {
 			ExecQueue:       o.ExecQueue,
 			SparseEdges:     o.SparseEdges,
 			SparseSeed:      uint64(o.Seed),
+			Members:         o.Members,
+			ReconfigDelay:   o.ReconfigDelay,
 			// Batch delivery: per-commit callbacks see each vertex in
 			// order, then batch callbacks get the whole consecutive
 			// run (with ExecQueue > 0 a run is everything queued since
@@ -313,10 +347,13 @@ func (c *Cluster) SubmitTo(id NodeID, tx []byte) {
 }
 
 // Proposers lists the parties allowed to propose transaction blocks in the
-// configured mode.
+// configured mode (epoch 0; later epochs re-sample, see EpochTable).
 func (c *Cluster) Proposers() []NodeID {
 	if c.opts.Mode == ModeSingleClan {
 		return append([]NodeID(nil), c.clans[0]...)
+	}
+	if c.opts.Members != nil {
+		return append([]NodeID(nil), c.opts.Members...)
 	}
 	out := make([]NodeID, c.opts.N)
 	for i := range out {
@@ -324,6 +361,36 @@ func (c *Cluster) Proposers() []NodeID {
 	}
 	return out
 }
+
+// SubmitReconfig signs a membership transaction with the affected party's
+// key and queues it at every node for inclusion in the next proposals. The
+// change takes effect at the epoch fence scheduled when the transaction
+// commits; EpochTable shows the resulting membership and clans.
+func (c *Cluster) SubmitReconfig(action types.ReconfigAction, id NodeID, addr string) {
+	tx := ReconfigTx{Action: action, Node: id, Addr: addr}
+	copy(tx.PubKey[:], c.keys[id].Pub)
+	core.SignReconfig(c.reg, &c.keys[id], &tx)
+	for _, n := range c.nodes {
+		n.SubmitReconfig(tx)
+	}
+}
+
+// SubmitJoin admits party id at the next epoch fence. In-process clusters
+// have no dial addresses; a synthetic one satisfies the wire format.
+func (c *Cluster) SubmitJoin(id NodeID) {
+	c.SubmitReconfig(ReconfigJoin, id, fmt.Sprintf("mem://%d", id))
+}
+
+// SubmitLeave retires party id at the next epoch fence.
+func (c *Cluster) SubmitLeave(id NodeID) {
+	c.SubmitReconfig(ReconfigLeave, id, "")
+}
+
+// EpochTable returns node i's retained epochs, oldest first.
+func (c *Cluster) EpochTable(i int) []EpochInfo { return c.nodes[i].EpochTable() }
+
+// CurrentEpoch returns the epoch governing node i's current round.
+func (c *Cluster) CurrentEpoch(i int) uint64 { return c.nodes[i].CurrentEpoch() }
 
 // Clans returns the clan composition (nil for ModeSailfish).
 func (c *Cluster) Clans() [][]NodeID {

@@ -195,10 +195,10 @@ func TestTCPNodesReachConsensus(t *testing.T) {
 		addrs[NodeID(i)] = nd.Addr()
 		nodes = append(nodes, nd)
 	}
-	// Patch the shared book before starting (white-box, test-only).
+	// Exchange the real bound ports before starting.
 	for _, nd := range nodes {
 		for id, a := range addrs {
-			nd.opts.Addrs[id] = a
+			nd.SetPeerAddr(id, a)
 		}
 	}
 	var mu sync.Mutex

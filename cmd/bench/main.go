@@ -14,10 +14,11 @@
 //	bench -exp comm      # communication-complexity accounting
 //	bench -exp ablate    # single-clan throughput vs clan size
 //	bench -exp sparse    # sparse-edge DAG scaling: n=50/100/200, dense vs sparse
-//	bench -exp micro     # transport/WAL/pipeline/parallel-exec/gateway micro-benchmarks -> BENCH_PR8.json
+//	bench -exp micro     # transport/WAL/pipeline/parallel-exec/gateway micro-benchmarks -> BENCH_PR9.json
 //	bench -exp chaos     # seeded mixed-fault property runner (safety+liveness)
 //	bench -exp gateway   # serving front door under overload: TCP gateway + open-loop load -> results/gateway.txt
-//	bench -exp all       # every simulator experiment (micro/chaos/gateway run only when named)
+//	bench -exp reconfig  # live membership change: 4->5 node TCP cluster, join via committed ReconfigTx -> results/reconfig.txt
+//	bench -exp all       # every simulator experiment (micro/chaos/gateway/reconfig run only when named)
 //
 // -baseline compares -exp micro results against a checked-in JSON artifact
 // and fails on regressions beyond tolerance: allocs/op and fsyncs/op must
@@ -57,7 +58,7 @@ func main() {
 		quick = flag.Bool("quick", false, "short windows and fewer load points")
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
-		mout  = flag.String("micro-out", "BENCH_PR8.json", "output path for -exp micro results")
+		mout  = flag.String("micro-out", "BENCH_PR9.json", "output path for -exp micro results")
 		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, commits/sec)")
 		nchao = flag.Int("chaos-scenarios", 10, "seeds per clan mode for -exp chaos")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
@@ -158,6 +159,17 @@ func main() {
 	if *exp == "gateway" {
 		if err := runGateway(*seed, *quick); err != nil {
 			fail("gateway", err)
+		}
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		finishProfiles()
+		return
+	}
+
+	// The reconfiguration demo runs only when named: real sockets and wall
+	// clock (a joining node fetches a snapshot and must catch up live).
+	if *exp == "reconfig" {
+		if err := runReconfig(*seed, *mbase); err != nil {
+			fail("reconfig", err)
 		}
 		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
 		finishProfiles()

@@ -136,6 +136,15 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 			// added batching delay is a multiple, not a few percent).
 			check(r.Name, "p99_ms", r.Extra["p99_ms"], want, 25)
 		}
+		if want, ok := b.Extra["join_to_serving_ms"]; ok {
+			// Wall-clock from ReconfigTx submission to the first
+			// joiner-authored committed vertex (-exp reconfig): fence
+			// crossing plus snapshot transfer plus live catch-up on a
+			// shared runner, so ±20% with 2s absolute slack. A lost
+			// snapshot path or a joiner that re-runs history from round
+			// zero is a multiple, not a few percent.
+			check(r.Name, "join_to_serving_ms", r.Extra["join_to_serving_ms"], want, 2000)
+		}
 		if want, ok := b.Extra["tx/s"]; ok {
 			// The parallel execution engine's throughput. The validation
 			// cost is sleep-modeled, so the rate is stable across runners;

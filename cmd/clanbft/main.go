@@ -159,9 +159,9 @@ func runLocal(opts clanbft.Options, duration time.Duration, rate, txSize int) {
 		addrs[clanbft.NodeID(i)] = nd.Addr()
 		nodes[i] = nd
 	}
-	for i := range books {
+	for i := range nodes {
 		for id, a := range addrs {
-			books[i][id] = a
+			nodes[i].SetPeerAddr(id, a)
 		}
 	}
 

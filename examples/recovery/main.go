@@ -47,10 +47,10 @@ func main() {
 		addrs[clanbft.NodeID(i)] = nd.Addr()
 		nodes[i] = nd
 	}
-	// Complete every address book with the real bound ports, then start.
-	for i := range books {
+	// Exchange the real bound ports with every node, then start.
+	for i := range nodes {
 		for id, a := range addrs {
-			books[i][id] = a
+			nodes[i].SetPeerAddr(id, a)
 		}
 	}
 	var committed atomic.Int64

@@ -229,6 +229,46 @@ func SampleClan(n, nc int, seed int64) []types.NodeID {
 	return members
 }
 
+// SampleClanMembers is SampleClan over an explicit member list (an epoch's
+// active subset of the node universe): it draws a uniformly random clan of
+// size nc from members, deterministic per seed. Used at epoch fences, where
+// the clan sampler re-runs over the reconfigured tribe seeded by the epoch
+// number.
+func SampleClanMembers(members []types.NodeID, nc int, seed int64) []types.NodeID {
+	if nc > len(members) {
+		panic(fmt.Sprintf("committee: clan size %d exceeds %d members", nc, len(members)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(members))
+	out := make([]types.NodeID, nc)
+	for i := 0; i < nc; i++ {
+		out[i] = members[perm[i]]
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// PartitionMembers is PartitionClans over an explicit member list: all
+// members are split into q clans with EqualPartitionSizes, uniformly at
+// random, deterministic per seed.
+func PartitionMembers(members []types.NodeID, q int, seed int64) [][]types.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(members))
+	sizes := EqualPartitionSizes(len(members), q)
+	out := make([][]types.NodeID, q)
+	idx := 0
+	for c, s := range sizes {
+		clan := make([]types.NodeID, s)
+		for i := 0; i < s; i++ {
+			clan[i] = members[perm[idx]]
+			idx++
+		}
+		sortNodeIDs(clan)
+		out[c] = clan
+	}
+	return out
+}
+
 // PartitionClans partitions all n parties into q clans with
 // EqualPartitionSizes, uniformly at random, deterministic per seed.
 func PartitionClans(n, q int, seed int64) [][]types.NodeID {

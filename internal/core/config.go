@@ -37,10 +37,10 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
-	"clanbft/internal/committee"
 	"clanbft/internal/crypto"
 	"clanbft/internal/dag"
 	"clanbft/internal/metrics"
@@ -110,7 +110,28 @@ type Config struct {
 	Mode Mode
 	// Clans lists clan memberships: exactly one clan for ModeSingleClan,
 	// the full partition for ModeMultiClan, unused for ModeBaseline.
+	// These are epoch 0's clans; later epochs re-sample deterministically
+	// from the member set (see internal/core/epoch.go).
 	Clans [][]types.NodeID
+
+	// Members lists the parties active in epoch 0; nil means all N. N is
+	// the universe capacity (every party, active or not, holds a registry
+	// key and a slot in bitmaps); non-members run as observers until a
+	// committed ReconfigTx admits them at an epoch fence.
+	Members []types.NodeID
+	// ReconfigDelay is the gap D between a committed reconfiguration and
+	// its fence: an epoch scheduled by the leader commit at round L starts
+	// at round L+D+1. It doubles as the propose throttle — no party
+	// proposes round r before processing a leader commit at round >= r-D —
+	// which is what guarantees every proposer past a fence has already
+	// installed the fence's epoch. Default 32.
+	ReconfigDelay types.Round
+	// OnReconfig, when non-nil, is invoked each time an epoch is installed
+	// (freshly scheduled or recovered from the store). It runs on the
+	// serialized handler with the node lock held: implementations must not
+	// call back into the Node, but may touch the transport (e.g. add dial
+	// addresses for joined peers).
+	OnReconfig func(EpochInfo)
 
 	Key *crypto.KeyPair
 	Reg *crypto.Registry
@@ -211,8 +232,25 @@ func (c *Config) fill() {
 	if c.N <= 0 {
 		panic("core: N must be positive")
 	}
+	if c.Members == nil {
+		c.Members = make([]types.NodeID, c.N)
+		for i := range c.Members {
+			c.Members[i] = types.NodeID(i)
+		}
+	} else {
+		c.Members = append([]types.NodeID(nil), c.Members...)
+		sort.Slice(c.Members, func(i, j int) bool { return c.Members[i] < c.Members[j] })
+		for i, id := range c.Members {
+			if int(id) >= c.N || (i > 0 && id == c.Members[i-1]) {
+				panic("core: Members must be unique and within [0,N)")
+			}
+		}
+	}
 	if c.F == 0 {
-		c.F = (c.N - 1) / 3
+		c.F = (len(c.Members) - 1) / 3
+	}
+	if c.ReconfigDelay == 0 {
+		c.ReconfigDelay = 32
 	}
 	if c.RoundTimeout == 0 {
 		c.RoundTimeout = 3 * time.Second
@@ -263,12 +301,20 @@ type Node struct {
 	// parallelizes aggregate verification), cfg.Costs itself otherwise.
 	vcosts crypto.Costs
 
-	// Clan topology.
-	clanOf   []types.ClanID          // proposer -> clan (NoClan if none)
-	clans    [][]types.NodeID        // resolved clans
-	fcOf     []int                   // clan -> f_c
-	selfClan types.ClanID            // this party's clan
-	inClan   []map[types.NodeID]bool // clan -> membership set
+	// epochs is the membership/clan topology table, oldest first. Entry 0
+	// covers the oldest retained round; every quorum, leader, and clan
+	// lookup resolves through epochOf(round). Trimmed by gcEpochs.
+	epochs []*epochState
+	// lastCommitRound is the round of the last leader commit this party
+	// processed in drainCommits. It drives the propose throttle (see
+	// Config.ReconfigDelay) and is re-derived during recovery replay.
+	lastCommitRound types.Round
+	// pendingReconfig holds submitted membership transactions awaiting
+	// inclusion in this party's next proposal.
+	pendingReconfig []types.ReconfigTx
+	// recovering suppresses round advancement while the store replay runs
+	// (drainCommits fires mid-replay and must not propose).
+	recovering bool
 
 	dag *dag.DAG
 
@@ -378,48 +424,22 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 		tcs:           map[types.Round]*types.TimeoutCert{},
 		novoteAggs:    map[types.Round]*crypto.Aggregator{},
 		nvcs:          map[types.Round]*types.NoVoteCert{},
-		selfClan:      types.NoClan,
 		scratchSeen:   make([]bool, cfg.N),
 	}
 	n.vcosts = cfg.Costs
 	if cfg.VerifyCores > 1 {
 		n.vcosts = cfg.Costs.Parallel(cfg.VerifyCores)
 	}
-	n.clanOf = make([]types.ClanID, cfg.N)
-	for i := range n.clanOf {
-		n.clanOf[i] = types.NoClan
+	// Epoch 0: the configured clans over the configured member set
+	// (ModeBaseline gets one implicit clan containing every member). Later
+	// epochs re-sample clans from the committed member set.
+	clans := n.cfg.Clans
+	if cfg.Mode == ModeBaseline {
+		clans = [][]types.NodeID{n.cfg.Members}
 	}
-	switch cfg.Mode {
-	case ModeBaseline:
-		// One implicit clan containing everyone.
-		all := make([]types.NodeID, cfg.N)
-		inAll := map[types.NodeID]bool{}
-		for i := range all {
-			all[i] = types.NodeID(i)
-			inAll[types.NodeID(i)] = true
-		}
-		n.clans = [][]types.NodeID{all}
-		n.inClan = []map[types.NodeID]bool{inAll}
-		n.fcOf = []int{committee.ClanMaxFaulty(cfg.N)}
-		for i := range n.clanOf {
-			n.clanOf[i] = 0
-		}
-		n.selfClan = 0
-	default:
-		n.clans = cfg.Clans
-		for ci, clan := range cfg.Clans {
-			in := map[types.NodeID]bool{}
-			for _, id := range clan {
-				in[id] = true
-				n.clanOf[id] = types.ClanID(ci)
-				if id == cfg.Self {
-					n.selfClan = types.ClanID(ci)
-				}
-			}
-			n.inClan = append(n.inClan, in)
-			n.fcOf = append(n.fcOf, committee.ClanMaxFaulty(len(clan)))
-		}
-	}
+	es0 := n.buildEpochState(0, 0, 0, n.cfg.Members, clans)
+	es0.f = n.cfg.F // honor an explicitly configured epoch-0 F
+	n.epochs = []*epochState{es0}
 	n.initMetrics()
 	if cfg.ExecQueue > 0 {
 		n.exec = newExecStage(cfg.Deliver, cfg.DeliverBatch, cfg.ExecQueue, n.reg)
@@ -512,33 +532,32 @@ func (n *Node) initMetrics() {
 	})
 }
 
-// blockClan returns the clan that receives proposer's blocks, or NoClan if
-// this proposer never carries a payload.
-func (n *Node) blockClan(proposer types.NodeID) types.ClanID {
+// blockClanAt returns the clan that receives proposer's round-r blocks, or
+// NoClan if that proposer carries no payload in round r's epoch.
+func (n *Node) blockClanAt(r types.Round, proposer types.NodeID) types.ClanID {
+	ep := n.epochOf(r)
 	switch n.cfg.Mode {
 	case ModeBaseline:
+		if !ep.isMember[proposer] {
+			return types.NoClan
+		}
 		return 0
 	case ModeSingleClan:
-		if n.clanOf[proposer] == 0 {
+		if ep.clanOf[proposer] == 0 {
 			return 0
 		}
 		return types.NoClan // non-clan parties propose empty vertices
 	default: // ModeMultiClan
-		return n.clanOf[proposer]
+		return ep.clanOf[proposer]
 	}
 }
 
-// proposesBlocks reports whether this party includes payloads in its own
-// vertices.
-func (n *Node) proposesBlocks() bool {
-	return n.blockClan(n.cfg.Self) != types.NoClan
-}
-
 // leaderAt returns round r's k-th leader (k < LeadersPerRound). The schedule
-// is round-robin over the whole tribe; every party proposes vertices in every
-// mode, so every party is eligible.
+// is round-robin over the epoch's member list; every member proposes vertices
+// in every mode, so every member is eligible.
 func (n *Node) leaderAt(r types.Round, k int) types.NodeID {
-	return types.NodeID((uint64(r)*uint64(n.cfg.LeadersPerRound) + uint64(k)) % uint64(n.cfg.N))
+	ms := n.epochOf(r).members
+	return ms[(uint64(r)*uint64(n.cfg.LeadersPerRound)+uint64(k))%uint64(len(ms))]
 }
 
 // leader returns round r's primary leader — the one gating round
@@ -548,9 +567,15 @@ func (n *Node) leader(r types.Round) types.NodeID { return n.leaderAt(r, 0) }
 // leaderIdx returns which leader slot (0..L-1) the position occupies, or -1
 // if it is not a leader position.
 func (n *Node) leaderIdx(pos types.Position) int {
+	ep := n.epochOf(pos.Round)
+	mi := ep.memberIdx[pos.Source]
+	if mi < 0 {
+		return -1
+	}
 	L := n.cfg.LeadersPerRound
-	base := uint64(pos.Round) * uint64(L) % uint64(n.cfg.N)
-	k := (uint64(pos.Source) + uint64(n.cfg.N) - base) % uint64(n.cfg.N)
+	M := uint64(len(ep.members))
+	base := uint64(pos.Round) * uint64(L) % M
+	k := (uint64(mi) + M - base) % M
 	if k < uint64(L) {
 		return int(k)
 	}

@@ -22,15 +22,27 @@ import (
 //     hand-off rule);
 //   - in single-clan mode, only clan members may carry a payload digest
 //     (Section 5: "only the parties in the clan are permitted to act as
-//     proposers").
+//     proposers");
+//   - the source must be a member of round r's epoch, the declared epoch
+//     number must match this party's epoch table for round r, and every
+//     strong edge must point at a member of round r-1's epoch. A vertex
+//     whose epoch this party has not scheduled yet is rejected and
+//     re-fetched later via the timeout/pull machinery — the propose
+//     throttle guarantees its honest proposer has processed the scheduling
+//     commit, which this party will also reach.
 func (n *Node) validateVertex(v *types.Vertex) bool {
-	if n.cfg.Mode == ModeSingleClan && n.blockClan(v.Source) == types.NoClan && !v.BlockDigest.IsZero() {
+	ep := n.epochOf(v.Round)
+	if !ep.isMember[v.Source] || v.Epoch != ep.num {
+		return false
+	}
+	if n.cfg.Mode == ModeSingleClan && n.blockClanAt(v.Round, v.Source) == types.NoClan && !v.BlockDigest.IsZero() {
 		return false
 	}
 	if v.Round == 0 {
 		return len(v.StrongEdges) == 0
 	}
-	if len(v.StrongEdges) < 2*n.cfg.F+1 {
+	pep := n.epochOf(v.Round - 1)
+	if len(v.StrongEdges) < 2*pep.f+1 {
 		return false
 	}
 	// Distinct-source check via a reusable scratch buffer (vertices are
@@ -39,7 +51,7 @@ func (n *Node) validateVertex(v *types.Vertex) bool {
 	bad := false
 	cnt := 0
 	for _, e := range v.StrongEdges {
-		if e.Round != v.Round-1 || int(e.Source) >= n.cfg.N || seen[e.Source] {
+		if e.Round != v.Round-1 || int(e.Source) >= n.cfg.N || !pep.isMember[e.Source] || seen[e.Source] {
 			bad = true
 			break
 		}
@@ -75,7 +87,8 @@ func (n *Node) validateVertex(v *types.Vertex) bool {
 // check when the transport's verify pool already ran it (TCMsg traffic);
 // certificates embedded in vertices always verify inline.
 func (n *Node) validTC(tc *types.TimeoutCert, preVerified bool) bool {
-	if types.BitmapCount(tc.Agg.Bitmap) < 2*n.cfg.F+1 {
+	cnt, inRange := memberCount(n.epochOf(tc.Round), n.cfg.N, tc.Agg.Bitmap)
+	if !inRange || cnt < n.quorum(tc.Round) {
 		return false
 	}
 	ok := preVerified || n.cfg.Reg.VerifyAgg(timeoutCtx(tc.Round), tc.Agg)
@@ -84,7 +97,8 @@ func (n *Node) validTC(tc *types.TimeoutCert, preVerified bool) bool {
 }
 
 func (n *Node) validNVC(nvc *types.NoVoteCert) bool {
-	if types.BitmapCount(nvc.Agg.Bitmap) < 2*n.cfg.F+1 {
+	cnt, inRange := memberCount(n.epochOf(nvc.Round), n.cfg.N, nvc.Agg.Bitmap)
+	if !inRange || cnt < n.quorum(nvc.Round) {
 		return false
 	}
 	ok := n.cfg.Reg.VerifyAgg(novoteCtx(nvc.Round), nvc.Agg)
@@ -99,16 +113,34 @@ func (n *Node) validNVC(nvc *types.NoVoteCert) bool {
 // satisfied: >= 2f+1 round-r vertices delivered AND (round r's leader vertex
 // delivered, OR we hold TC_r — with the extra NVC_r requirement when this
 // party is round r+1's leader).
+//
+// Advancement is throttled by the epoch fence rule: proposing round r is
+// justified either by commit coverage (a processed leader commit at round
+// >= r-ReconfigDelay — the commit chain proves every fence below r is
+// installed) or by quorum evidence (maxQuorumRound >= r-1: a delivered 2f+1
+// quorum plus the leader, counted exclusively from vertices whose declared
+// epoch matched this party's table — had this party missed a fence at or
+// below that round, the >= f+1 honest vertices in the quorum would have
+// declared the newer epoch and been rejected at intake, so no quorum could
+// have formed). Beyond both bounds the party waits; ordering catches up
+// through the pull machinery and drainCommits re-runs tryAdvance.
 func (n *Node) tryAdvance() {
+	limit := n.lastCommitRound + n.cfg.ReconfigDelay
+	if n.maxQuorumRound+1 > limit {
+		limit = n.maxQuorumRound + 1
+	}
 	for {
 		r := n.round
-		if len(n.ord.deliveredByRound[r]) >= 2*n.cfg.F+1 {
+		if len(n.ord.deliveredByRound[r]) >= n.quorum(r) {
 			ok := n.ord.leaderDelivered[r]
 			if !ok && n.tcs[r] != nil {
 				ok = n.leader(r+1) != n.cfg.Self || n.nvcs[r] != nil
 			}
 			if ok {
-				n.propose(r + 1)
+				if r+1 > limit {
+					return // throttled: wait for commits to advance
+				}
+				n.advanceTo(r + 1)
 				continue
 			}
 		}
@@ -118,11 +150,46 @@ func (n *Node) tryAdvance() {
 		// proposal from this party — the quorum proves the network
 		// moved on without it.
 		if n.maxQuorumRound > n.round {
-			n.propose(n.maxQuorumRound + 1)
+			if n.maxQuorumRound+1 > limit {
+				return // throttled: order the backlog first
+			}
+			n.advanceTo(n.maxQuorumRound + 1)
 			continue
 		}
 		return
 	}
+}
+
+// advanceTo moves this party to round r: members propose, observers (parties
+// outside round r's epoch) just track the round so the timer-driven pull
+// machinery keeps them current. An observer whose join fence has passed
+// becomes a proposer here, with no special-case hand-off.
+func (n *Node) advanceTo(r types.Round) {
+	if n.activeAt(r) {
+		n.propose(r)
+		return
+	}
+	n.enterRound(r)
+}
+
+// enterRound is the observer's propose(): advance the round and re-arm the
+// stuck-round probe without emitting a proposal or signing anything.
+func (n *Node) enterRound(r types.Round) {
+	if n.roundTimer != nil {
+		n.roundTimer.Stop()
+		n.roundTimer = nil
+	}
+	n.round = r
+	round := r
+	n.roundTimer = n.clk.After(n.cfg.RoundTimeout, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		n.roundTimer = nil
+		n.onRoundTimeout(round)
+	})
 }
 
 // propose emits this party's vertex for round r: strong edges to the
@@ -135,7 +202,14 @@ func (n *Node) propose(r types.Round) {
 		n.roundTimer = nil
 	}
 	n.round = r
-	v := &types.Vertex{Round: r, Source: n.cfg.Self}
+	v := &types.Vertex{Round: r, Source: n.cfg.Self, Epoch: n.epochOf(r).num}
+	// Membership transactions ride in the vertex: vertices replicate
+	// tribe-wide, so the committed ReconfigTx reaches every party —
+	// observers included — as ordered state-machine input.
+	if len(n.pendingReconfig) > 0 {
+		v.Reconfig = n.pendingReconfig
+		n.pendingReconfig = nil
+	}
 
 	if r > 0 {
 		prev := r - 1
@@ -196,9 +270,9 @@ func (n *Node) propose(r types.Round) {
 		}
 	}
 
-	// Attach the payload if this party proposes blocks in this mode.
+	// Attach the payload if this party proposes blocks in round r's epoch.
 	var blk *types.Block
-	if n.proposesBlocks() && n.cfg.Blocks != nil {
+	if n.blockClanAt(r, n.cfg.Self) != types.NoClan && n.cfg.Blocks != nil {
 		blk = n.cfg.Blocks.NextBlock(r)
 		if blk != nil {
 			blk.Round, blk.Source = r, n.cfg.Self
@@ -233,10 +307,13 @@ func (n *Node) propose(r types.Round) {
 
 	full := &types.ValMsg{Vertex: v, Block: blk, Sig: sig}
 	lean := &types.ValMsg{Vertex: v, Sig: sig}
-	clan := n.blockClan(n.cfg.Self)
+	ep := n.epochOf(r)
+	clan := n.blockClanAt(r, n.cfg.Self)
+	// Vertices go to the whole universe — observers track the DAG so they
+	// can join at a fence without a cold start; blocks stay clan-confined.
 	for i := 0; i < n.cfg.N; i++ {
 		id := types.NodeID(i)
-		if blk != nil && clan != types.NoClan && n.inClan[clan][id] {
+		if blk != nil && clan != types.NoClan && ep.inClan[clan][id] {
 			n.ep.Send(id, full)
 		} else {
 			n.ep.Send(id, lean)
@@ -271,7 +348,9 @@ func (n *Node) onRoundTimeout(r types.Round) {
 	// under message loss (pre-GST drops, partitions) — a healed network
 	// must be able to reassemble timeout certificates and re-fetch the
 	// round's vertices, so re-broadcast until the round advances.
-	if n.cfg.Key != nil && !n.ord.leaderDelivered[r] {
+	// Observers never sign view-change artifacts (their partials would not
+	// count toward any quorum); they still run the pull re-drive below.
+	if n.cfg.Key != nil && n.activeAt(r) && !n.ord.leaderDelivered[r] {
 		if tc := n.tcs[r]; tc != nil {
 			n.ep.Broadcast(&types.TCMsg{TC: *tc})
 		} else {
@@ -288,6 +367,9 @@ func (n *Node) onRoundTimeout(r types.Round) {
 	// to exist, so retransmit this party's own contributions (both are
 	// idempotent at receivers) and pull what peers already certified.
 	for src := 0; src < n.cfg.N; src++ {
+		if !n.epochOf(r).isMember[src] {
+			continue // no vertex to re-drive from a non-member
+		}
 		pos := types.Position{Round: r, Source: types.NodeID(src)}
 		in := n.inst(pos)
 		if in.delivered {
@@ -320,6 +402,9 @@ func (n *Node) onTimeout(from types.NodeID, m *types.TimeoutMsg) {
 	if from != m.TO.Voter || n.tcs[r] != nil || n.gcdRound(r) {
 		return
 	}
+	if !n.epochOf(r).isMember[m.TO.Voter] {
+		return // only round r's members vote in its view change
+	}
 	ctx := timeoutCtx(r)
 	if !m.PreVerified() && !n.cfg.Reg.Verify(m.TO.Voter, ctx, m.TO.Sig) {
 		return
@@ -335,7 +420,7 @@ func (n *Node) onTimeout(from types.NodeID, m *types.TimeoutMsg) {
 	}
 	agg.Add(m.TO.Voter, n.cfg.Reg.PartialFor(m.TO.Voter, ctx))
 	n.clk.Charge(n.cfg.Costs.AggFold)
-	if agg.Count() >= 2*n.cfg.F+1 {
+	if agg.Count() >= n.quorum(r) {
 		tc := &types.TimeoutCert{Round: r, Agg: agg.Sig()}
 		n.tcs[r] = tc
 		delete(n.timeoutAggs, r)
@@ -362,6 +447,9 @@ func (n *Node) onNoVote(from types.NodeID, m *types.NoVoteMsg) {
 	if from != m.NV.Voter || n.nvcs[r] != nil || n.gcdRound(r) {
 		return
 	}
+	if !n.epochOf(r).isMember[m.NV.Voter] {
+		return // only round r's members vote in its view change
+	}
 	if n.leader(r+1) != n.cfg.Self {
 		return // no-votes are addressed to the next round's leader
 	}
@@ -380,7 +468,7 @@ func (n *Node) onNoVote(from types.NodeID, m *types.NoVoteMsg) {
 	}
 	agg.Add(m.NV.Voter, n.cfg.Reg.PartialFor(m.NV.Voter, ctx))
 	n.clk.Charge(n.cfg.Costs.AggFold)
-	if agg.Count() >= 2*n.cfg.F+1 {
+	if agg.Count() >= n.quorum(r) {
 		n.nvcs[r] = &types.NoVoteCert{Round: r, Agg: agg.Sig()}
 		delete(n.novoteAggs, r)
 		n.tryAdvance()
@@ -397,10 +485,11 @@ func (n *Node) resendProposal(v *types.Vertex) {
 	}
 	full := &types.ValMsg{Vertex: v, Block: blk, Sig: sig}
 	lean := &types.ValMsg{Vertex: v, Sig: sig}
-	clan := n.blockClan(n.cfg.Self)
+	ep := n.epochOf(v.Round)
+	clan := n.blockClanAt(v.Round, n.cfg.Self)
 	for i := 0; i < n.cfg.N; i++ {
 		id := types.NodeID(i)
-		if blk != nil && clan != types.NoClan && n.inClan[clan][id] {
+		if blk != nil && clan != types.NoClan && ep.inClan[clan][id] {
 			n.ep.Send(id, full)
 		} else {
 			n.ep.Send(id, lean)

@@ -50,7 +50,9 @@ type topt struct {
 	txCount int
 	uniform bool // single-region topology for latency math
 	seed    int64
-	sparse  bool // sparse-edge DAG mode on every node
+	sparse  bool           // sparse-edge DAG mode on every node
+	members []types.NodeID // epoch-0 members (nil = all n)
+	rdelay  types.Round    // ReconfigDelay override
 }
 
 func newTCluster(t *testing.T, n int, o topt) *tcluster {
@@ -80,16 +82,18 @@ func newTCluster(t *testing.T, n int, o topt) *tcluster {
 		i := i
 		id := types.NodeID(i)
 		node := New(Config{
-			Self:         id,
-			N:            n,
-			Mode:         o.mode,
-			Clans:        o.clans,
-			Key:          &c.keys[i],
-			Reg:          c.reg,
-			Blocks:       &testSource{id: id, txCount: o.txCount, txSize: 64},
-			RoundTimeout: o.timeout,
-			SparseEdges:  o.sparse,
-			SparseSeed:   uint64(o.seed),
+			Self:          id,
+			N:             n,
+			Mode:          o.mode,
+			Clans:         o.clans,
+			Key:           &c.keys[i],
+			Reg:           c.reg,
+			Blocks:        &testSource{id: id, txCount: o.txCount, txSize: 64},
+			RoundTimeout:  o.timeout,
+			SparseEdges:   o.sparse,
+			SparseSeed:    uint64(o.seed),
+			Members:       o.members,
+			ReconfigDelay: o.rdelay,
 			Deliver: func(cv CommittedVertex) {
 				c.orders[i] = append(c.orders[i], cv)
 			},

@@ -71,7 +71,9 @@ func (n *Node) Start() {
 		n.tryAdvance()
 		return
 	}
-	n.propose(0)
+	// Fresh start: members propose round 0; non-members of epoch 0 start
+	// as observers and become proposers at the fence that admits them.
+	n.advanceTo(0)
 }
 
 // Stop tears the engine down mid-run (crash simulation, harness shutdown):
@@ -151,6 +153,8 @@ func (n *Node) handle(from types.NodeID, m types.Message) {
 		n.onTimeout(from, msg)
 	case *types.TCMsg:
 		n.onTCMsg(from, msg)
+	case *types.SnapReqMsg:
+		n.onSnapReq(from, msg)
 	default:
 		if n.cfg.OnUnhandled != nil {
 			n.cfg.OnUnhandled(from, m)

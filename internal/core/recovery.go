@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"sort"
 
+	"clanbft/internal/store"
 	"clanbft/internal/types"
 )
 
@@ -55,6 +57,46 @@ func (n *Node) recoverFromStore() bool {
 	if st == nil {
 		return false
 	}
+	// drainCommits fires mid-replay (countVote re-derives commits); the
+	// recovering flag keeps it from advancing rounds before the proposal
+	// highwater is restored.
+	n.recovering = true
+	defer func() { n.recovering = false }()
+
+	// Epoch table first: the v/ replay below resolves leaders and quorums
+	// through it. e/<num> records are installed in epoch order (Scan order
+	// is not guaranteed); the ones a later drainCommits replay re-derives
+	// are deduplicated by their scheduling commit round.
+	type epochRec struct {
+		num   uint64
+		value []byte
+	}
+	var recs []epochRec
+	st.Scan([]byte("e/"), func(key, value []byte) bool {
+		if len(key) != 10 {
+			return true
+		}
+		var num uint64
+		for i := 0; i < 8; i++ {
+			num = num<<8 | uint64(key[2+i])
+		}
+		recs = append(recs, epochRec{num, append([]byte(nil), value...)})
+		return true
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].num < recs[j].num })
+	for _, rec := range recs {
+		if rec.num != n.epochHead().num+1 {
+			continue // epoch 0 comes from the config; gaps cannot install
+		}
+		start, sched, members, joins, ok := unmarshalEpochRecord(rec.value)
+		if !ok {
+			continue
+		}
+		es := n.newEpochState(rec.num, start, sched, members)
+		es.joins = joins
+		n.installEpoch(es, false)
+	}
+
 	// Own-proposal highwater mark.
 	var highwater types.Round
 	proposed := false
@@ -132,7 +174,25 @@ func (n *Node) recoverFromStore() bool {
 	// commitWait; those inserts bypassed insertNow, so reset the wait set
 	// and let Start's drainCommits re-derive it against the full DAG.
 	clear(n.ord.commitWait)
-	return proposed || len(verts) > 0
+	return proposed || len(verts) > 0 || len(n.epochs) > 1
+}
+
+// onSnapReq serves a snapshot of this party's store to a bootstrapping peer
+// (a joiner admitted by a committed ReconfigTx, or any party catching up).
+// The donor's own proposal records (p/) are excluded — they would corrupt the
+// requester's equivocation highwater — so the stream restores into a state
+// any party can recover from: epochs, vertices, and blocks.
+func (n *Node) onSnapReq(from types.NodeID, _ *types.SnapReqMsg) {
+	d, ok := n.cfg.Store.(*store.Disk)
+	if !ok {
+		return
+	}
+	var buf bytes.Buffer
+	if err := d.Snapshot(&buf, "p/"); err != nil {
+		return
+	}
+	n.clk.Charge(n.cfg.Costs.StoreRead)
+	n.ep.Send(from, &types.SnapRspMsg{Data: buf.Bytes()})
 }
 
 // persistProposal records this party's round-r proposal digest before the

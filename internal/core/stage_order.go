@@ -192,7 +192,10 @@ func (n *Node) countVote(v *types.Vertex) {
 // checkCommit applies the direct commit rule for a leader vertex: 2f+1
 // next-round proposals with a strong edge to it.
 func (n *Node) checkCommit(lp types.Position) {
-	if n.ord.committedDirect[lp] || len(n.ord.votes[lp]) < 2*n.cfg.F+1 {
+	// Votes are round lp.Round+1 proposals, so the quorum threshold is that
+	// round's epoch (the fence between lp and its voters, if any, raises or
+	// lowers the bar with the new membership).
+	if n.ord.committedDirect[lp] || len(n.ord.votes[lp]) < n.quorum(lp.Round+1) {
 		return
 	}
 	idx := n.leaderIdx(lp)
@@ -255,8 +258,10 @@ func (n *Node) drainCommits() {
 				}
 			}
 		}
-		// Order oldest first.
+		// Order oldest first, collecting committed membership transactions
+		// in total-order sequence (identical at every party).
 		now := n.clk.Now()
+		var rtxs []types.ReconfigTx
 		for i := len(chain) - 1; i >= 0; i-- {
 			lp := chain[i]
 			direct := lc.direct && lp == lc.pos
@@ -273,15 +278,28 @@ func (n *Node) drainCommits() {
 				n.ord.outQueuedAt = append(n.ord.outQueuedAt, now)
 				n.Metrics.VerticesOrdered++
 				n.mOrderVerts.Inc()
+				rtxs = append(rtxs, v.Reconfig...)
 			}
 		}
 		n.ord.lastOrderedSeq = lc.seq
 		n.ord.haveOrdered = true
 		n.Metrics.LastOrderedRound = lc.pos.Round
+		if lc.pos.Round > n.lastCommitRound {
+			n.lastCommitRound = lc.pos.Round
+		}
+		if len(rtxs) > 0 {
+			n.scheduleEpoch(lc.pos.Round, rtxs)
+		}
 		n.ord.pendingLeaders = n.ord.pendingLeaders[1:]
 		n.gc()
 	}
 	n.drainOut()
+	// Processing a leader commit raises the propose throttle; re-check
+	// round advancement unless this drain runs inside the recovery replay
+	// (the recovered round highwater is not restored yet at that point).
+	if !n.recovering {
+		n.tryAdvance()
+	}
 }
 
 // drainOut emits ordered vertices in sequence, holding at any vertex whose
@@ -294,7 +312,8 @@ func (n *Node) drainOut() {
 		cv := n.ord.outQueue[0]
 		v := cv.Vertex
 		var blk *types.Block
-		if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.selfClan && n.selfClan != types.NoClan {
+		ep := n.epochOf(v.Round)
+		if !v.BlockDigest.IsZero() && ep.selfClan != types.NoClan && n.blockClanAt(v.Round, v.Source) == ep.selfClan {
 			b, ok := n.rbc.blocks[v.BlockDigest]
 			if !ok {
 				if in := n.instIfAny(v.Pos()); in != nil {
@@ -334,6 +353,7 @@ func (n *Node) gc() {
 	}
 	n.dag.GC(horizon)
 	n.gcRBC(horizon)
+	n.gcEpochs(horizon)
 	for lp := range n.ord.votes {
 		if lp.Round < horizon {
 			delete(n.ord.votes, lp)
@@ -423,7 +443,8 @@ func splitmix64(x *uint64) uint64 {
 // delivered vertex still reaches the total order (BAB validity).
 func (n *Node) selectParents(r types.Round) (sel, deferred []*types.Vertex) {
 	delivered := n.ord.deliveredByRound[r-1]
-	if !n.cfg.SparseEdges || len(delivered) <= 2*n.cfg.F+1 {
+	q := n.quorum(r - 1)
+	if !n.cfg.SparseEdges || len(delivered) <= q {
 		return delivered, nil
 	}
 	isLeader := func(src types.NodeID) bool {
@@ -442,7 +463,7 @@ func (n *Node) selectParents(r types.Round) (sel, deferred []*types.Vertex) {
 			rest = append(rest, pv)
 		}
 	}
-	need := 2*n.cfg.F + 1 - len(sel)
+	need := q - len(sel)
 	if need < 0 {
 		need = 0
 	}

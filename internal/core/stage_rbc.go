@@ -122,12 +122,15 @@ func (n *Node) onVal(from types.NodeID, m *types.ValMsg) {
 	if n.gcd(pos) {
 		return
 	}
+	// Validate before allocating instance state: a flood of wrong-epoch or
+	// otherwise malformed vertices must not create vinsts (the retransmit
+	// machinery re-fetches legitimate vertices once their epoch installs).
+	if !n.validateVertex(v) {
+		return
+	}
 	in := n.inst(pos)
 	if in.valFrom {
 		return // only the sender's first proposal counts (non-equivocation)
-	}
-	if !n.validateVertex(v) {
-		return
 	}
 	d := v.DigestCached()
 	// The transport's verify pool may have pre-checked the signature (the
@@ -153,15 +156,12 @@ func (n *Node) onVal(from types.NodeID, m *types.ValMsg) {
 }
 
 // acceptBlock validates and stores a block pushed or pulled for vertex v.
+// Entitlement is per-epoch: the clan that receives v's payload is the clan
+// assignment of the epoch owning v.Round.
 func (n *Node) acceptBlock(v *types.Vertex, blk *types.Block) {
-	if n.clanOf[n.cfg.Self] == types.NoClan && n.cfg.Mode != ModeBaseline {
-		// Parties outside every clan never store payloads.
-		if n.blockClan(v.Source) != n.selfClan {
-			return
-		}
-	}
-	if n.blockClan(v.Source) != n.selfClan || n.selfClan == types.NoClan {
-		return
+	ep := n.epochOf(v.Round)
+	if ep.selfClan == types.NoClan || n.blockClanAt(v.Round, v.Source) != ep.selfClan {
+		return // parties outside the proposer's clan never store payloads
 	}
 	if blk.Round != v.Round || blk.Source != v.Source {
 		// The digest commits to Round/Source; a mismatch with the vertex
@@ -209,11 +209,15 @@ func (n *Node) maybeEcho(pos types.Position, in *vinst) {
 	if in.echoSent || in.vertex == nil {
 		return
 	}
+	if !n.activeAt(pos.Round) {
+		return // observers track the DAG but never echo
+	}
 	v := in.vertex
 	if !n.parentsDelivered(pos, v) {
 		return // re-tried when the missing parents deliver
 	}
-	if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.selfClan && n.selfClan != types.NoClan {
+	ep := n.epochOf(v.Round)
+	if !v.BlockDigest.IsZero() && n.blockClanAt(v.Round, v.Source) == ep.selfClan && ep.selfClan != types.NoClan {
 		if _, ok := n.rbc.blocks[v.BlockDigest]; !ok {
 			return // wait for the block (push or pull)
 		}
@@ -293,17 +297,21 @@ func (n *Node) echoClan(pos types.Position, digest types.Hash, in *vinst) types.
 		if in.vertex.BlockDigest.IsZero() {
 			return types.NoClan
 		}
-		return n.blockClan(in.vertex.Source)
+		return n.blockClanAt(pos.Round, in.vertex.Source)
 	}
 	// Without the vertex we cannot tell whether a payload is attached;
 	// demand the clan condition for the proposer's potential clan,
 	// conservatively.
-	return n.blockClan(pos.Source)
+	return n.blockClanAt(pos.Round, pos.Source)
 }
 
 func (n *Node) onEcho(from types.NodeID, m *types.VoteMsg) {
 	if from != m.Voter || int(m.Pos.Source) >= n.cfg.N || n.gcd(m.Pos) {
 		return
+	}
+	ep := n.epochOf(m.Pos.Round)
+	if !ep.isMember[m.Voter] || !ep.isMember[m.Pos.Source] {
+		return // echoes count only from/for members of the round's epoch
 	}
 	in := n.inst(m.Pos)
 	if in.hasCert {
@@ -344,14 +352,14 @@ func (n *Node) onEcho(from types.NodeID, m *types.VoteMsg) {
 	n.clk.Charge(n.cfg.Costs.AggFold)
 	tally.total++
 	clan := n.echoClan(m.Pos, m.Digest, in)
-	if clan != types.NoClan && n.inClan[clan][m.Voter] {
+	if clan != types.NoClan && ep.inClan[clan][m.Voter] {
 		tally.clanVotes++
 	}
 
-	if tally.total < 2*n.cfg.F+1 {
+	if tally.total < 2*ep.f+1 {
 		return
 	}
-	if clan != types.NoClan && tally.clanVotes < n.fcOf[clan]+1 {
+	if clan != types.NoClan && tally.clanVotes < ep.fcOf[clan]+1 {
 		return
 	}
 	// Quorum: >= f_c+1 clan members hold the block, so a missing payload
@@ -378,9 +386,12 @@ func (n *Node) onEcho(from types.NodeID, m *types.VoteMsg) {
 	}
 }
 
-// validCert structurally verifies an echo certificate.
+// validCert structurally verifies an echo certificate against the epoch of
+// the certified position's round: only that epoch's members count toward the
+// 2f+1 quorum and the f_c+1 clan condition.
 func (n *Node) validCert(m *types.EchoCertMsg) bool {
-	if types.BitmapCount(m.Agg.Bitmap) < 2*n.cfg.F+1 {
+	ep := n.epochOf(m.Pos.Round)
+	if !ep.isMember[m.Pos.Source] {
 		return false
 	}
 	// Clan condition: conservatively required whenever the proposer is a
@@ -391,26 +402,30 @@ func (n *Node) validCert(m *types.EchoCertMsg) bool {
 	clan := types.NoClan
 	if in != nil && in.vertex != nil && in.vertex.DigestCached() == m.Digest {
 		if !in.vertex.BlockDigest.IsZero() {
-			clan = n.blockClan(in.vertex.Source)
+			clan = n.blockClanAt(m.Pos.Round, in.vertex.Source)
 		}
 	} else {
-		clan = n.blockClan(m.Pos.Source)
+		clan = n.blockClanAt(m.Pos.Round, m.Pos.Source)
 	}
-	// One allocation-free pass checks signer range and counts clan votes.
-	cnt := 0
+	// One allocation-free pass checks signer range and counts member and
+	// clan votes (non-member partials verify but do not count).
+	cnt, clanCnt := 0, 0
 	inRange := types.BitmapForEach(m.Agg.Bitmap, func(id types.NodeID) bool {
 		if int(id) >= n.cfg.N {
 			return false
 		}
-		if clan != types.NoClan && n.inClan[clan][id] {
+		if ep.isMember[id] {
 			cnt++
+		}
+		if clan != types.NoClan && ep.inClan[clan][id] {
+			clanCnt++
 		}
 		return true
 	})
-	if !inRange {
+	if !inRange || cnt < 2*ep.f+1 {
 		return false
 	}
-	if clan != types.NoClan && cnt < n.fcOf[clan]+1 {
+	if clan != types.NoClan && clanCnt < ep.fcOf[clan]+1 {
 		return false
 	}
 	if n.cfg.Reg.CheckSigs && !m.PreVerified() && !n.cfg.Reg.VerifyAgg(echoCtx(m.Pos, m.Digest), m.Agg) {
@@ -502,7 +517,7 @@ func (n *Node) maybeDeliver(pos types.Position, in *vinst) {
 		n.ord.leaderDelivered[v.Round] = true
 	}
 	if v.Round > n.maxQuorumRound && n.ord.leaderDelivered[v.Round] &&
-		len(n.ord.deliveredByRound[v.Round]) >= 2*n.cfg.F+1 {
+		len(n.ord.deliveredByRound[v.Round]) >= n.quorum(v.Round) {
 		n.maxQuorumRound = v.Round
 	}
 	n.onDelivered(v)
@@ -553,7 +568,8 @@ func (n *Node) maybeStartBlockPull(pos types.Position, in *vinst) {
 		return
 	}
 	v := in.vertex
-	if v.BlockDigest.IsZero() || n.blockClan(v.Source) != n.selfClan || n.selfClan == types.NoClan {
+	ep := n.epochOf(v.Round)
+	if v.BlockDigest.IsZero() || ep.selfClan == types.NoClan || n.blockClanAt(v.Round, v.Source) != ep.selfClan {
 		return
 	}
 	if _, ok := n.rbc.blocks[v.BlockDigest]; ok {
@@ -572,7 +588,12 @@ func (n *Node) sendBlockPull(pos types.Position, in *vinst) {
 		in.blockPull = nil
 		return
 	}
-	clan := n.clans[n.selfClan]
+	ep := n.epochOf(v.Round)
+	if ep.selfClan == types.NoClan {
+		in.blockPull = nil
+		return
+	}
+	clan := ep.clans[ep.selfClan]
 	// Rotate over clan peers.
 	var target types.NodeID = n.cfg.Self
 	for i := 0; i < len(clan); i++ {
@@ -670,7 +691,7 @@ func (n *Node) onVtxReq(from types.NodeID, m *types.VtxReqMsg) {
 	}
 	rsp := &types.VtxRspMsg{Vertex: in.vertex}
 	v := in.vertex
-	if !v.BlockDigest.IsZero() && n.blockClan(v.Source) == n.clanOf[from] {
+	if !v.BlockDigest.IsZero() && n.blockClanAt(v.Round, v.Source) == n.epochOf(v.Round).clanOf[from] {
 		if blk, ok := n.rbc.blocks[v.BlockDigest]; ok {
 			rsp.Block = blk
 			n.clk.Charge(n.cfg.Costs.StoreRead)

@@ -77,6 +77,24 @@ type Options struct {
 	// damaged node legitimately loses its write-ahead proposal record and
 	// only the survivors' safety is asserted.
 	AllowEquivocation map[types.NodeID]bool
+	// Members is the epoch-0 active member set (nil = all N). Parties
+	// outside it run as observers until a committed join admits them.
+	Members []types.NodeID
+	// ReconfigDelay overrides the epoch fence distance (rounds between a
+	// reconfig commit and its activation; core's default when zero).
+	ReconfigDelay types.Round
+	// Reconfigs schedules signed membership transactions over the run —
+	// the churn dimension of the chaos space: joins and leaves commit and
+	// fence while partitions, drops, and crash/restart cycles are active.
+	Reconfigs []Reconfig
+}
+
+// Reconfig is one scheduled membership change.
+type Reconfig struct {
+	At     time.Duration
+	Action types.ReconfigAction
+	Node   types.NodeID
+	Addr   string // advertised dial address (joins)
 }
 
 // Result is one scenario's outcome.
@@ -92,6 +110,9 @@ type Result struct {
 	// post-heal checkpoint and at the end of the run.
 	OrderedAtCheck []int
 	OrderedAtEnd   []int
+	// EpochAtEnd is each node's final epoch number — the membership-churn
+	// witness: scheduled reconfigs must have fenced on every node.
+	EpochAtEnd []uint64
 	// Pipeline is the cluster-wide merged per-stage metrics snapshot
 	// (current incarnations, taken at the end of the run).
 	Pipeline metrics.Snapshot
@@ -205,19 +226,21 @@ func (c *cluster) startNode(i int) {
 	id := types.NodeID(i)
 	c.orders[i] = nil
 	node := core.New(core.Config{
-		Self:         id,
-		N:            c.opts.N,
-		Mode:         c.opts.Mode,
-		Clans:        c.clans,
-		Key:          &c.keys[i],
-		Reg:          c.reg,
-		Store:        c.stores[i],
-		Blocks:       mempool.NewGenerator(id, 3, 64, true),
-		RoundTimeout: 700 * time.Millisecond,
-		ExecQueue:    execQueue,
-		Metrics:      c.regs[i],
-		SparseEdges:  c.opts.Sparse,
-		SparseSeed:   uint64(c.opts.Seed),
+		Self:          id,
+		N:             c.opts.N,
+		Mode:          c.opts.Mode,
+		Clans:         c.clans,
+		Key:           &c.keys[i],
+		Reg:           c.reg,
+		Store:         c.stores[i],
+		Blocks:        mempool.NewGenerator(id, 3, 64, true),
+		Members:       c.opts.Members,
+		ReconfigDelay: c.opts.ReconfigDelay,
+		RoundTimeout:  700 * time.Millisecond,
+		ExecQueue:     execQueue,
+		Metrics:       c.regs[i],
+		SparseEdges:   c.opts.Sparse,
+		SparseSeed:    uint64(c.opts.Seed),
 		Deliver: func(cv core.CommittedVertex) {
 			c.orders[i] = append(c.orders[i], cv.Vertex.Pos())
 		},
@@ -254,24 +277,21 @@ func Run(opts Options) Result {
 		valSeen: map[types.Position]types.Hash{},
 	}
 	c.reg = crypto.NewRegistry(c.keys, opts.CheckSigs)
+	// Clans draw from the epoch-0 member set (the full universe when no
+	// membership restriction is in play).
+	members := opts.Members
+	if members == nil {
+		members = make([]types.NodeID, n)
+		for i := range members {
+			members[i] = types.NodeID(i)
+		}
+	}
 	switch opts.Mode {
 	case core.ModeSingleClan:
-		clan := make([]types.NodeID, 0, n-2)
-		for i := 0; i < n-2; i++ {
-			clan = append(clan, types.NodeID(i))
-		}
-		c.clans = [][]types.NodeID{clan}
+		c.clans = [][]types.NodeID{members[:len(members)-2]}
 	case core.ModeMultiClan:
-		half := (n + 1) / 2
-		var a, b []types.NodeID
-		for i := 0; i < n; i++ {
-			if i < half {
-				a = append(a, types.NodeID(i))
-			} else {
-				b = append(b, types.NodeID(i))
-			}
-		}
-		c.clans = [][]types.NodeID{a, b}
+		half := (len(members) + 1) / 2
+		c.clans = [][]types.NodeID{members[:half], members[half:]}
 	}
 
 	// The equivocation monitor: every VAL passing the fault layer must
@@ -311,6 +331,23 @@ func Run(opts Options) Result {
 	}
 	for i := 0; i < n; i++ {
 		c.startNode(i)
+	}
+
+	// Scheduled membership churn: sign each tx under the run's key universe
+	// and submit it to every live incarnation at the scripted virtual time.
+	// A node crashed at submission time simply loses its copy — survivors
+	// carry the tx to commitment, like any other state-machine input.
+	for _, rc := range opts.Reconfigs {
+		rc := rc
+		c.net.Clock(0).After(rc.At, func() {
+			tx := types.ReconfigTx{Action: rc.Action, Node: rc.Node, Addr: rc.Addr}
+			copy(tx.PubKey[:], c.keys[rc.Node].Pub)
+			core.SignReconfig(c.reg, &c.keys[rc.Node], &tx)
+			c.trace.Logf(c.net.Now(), "reconfig submitted: action=%d node=%d", rc.Action, rc.Node)
+			for i := range c.nodes {
+				c.nodes[i].SubmitReconfig(tx)
+			}
+		})
 	}
 
 	faults.Drive(sched, c.net.Clock(0), c.fnet, faults.Hooks{
@@ -383,8 +420,10 @@ func Run(opts Options) Result {
 	c.checkSafety()
 
 	snaps := make([]metrics.Snapshot, 0, n)
+	epochsAtEnd := make([]uint64, n)
 	for i := range c.nodes {
 		snaps = append(snaps, c.nodes[i].PipelineSnapshot())
+		epochsAtEnd[i] = c.nodes[i].CurrentEpoch()
 	}
 	for i := range c.nodes {
 		c.nodes[i].Stop()
@@ -393,6 +432,7 @@ func Run(opts Options) Result {
 		c.stores[i].Close()
 	}
 	res := c.result(sched, atCheck, atEnd)
+	res.EpochAtEnd = epochsAtEnd
 	res.Pipeline = metrics.Merge(snaps...)
 	return res
 }

@@ -104,6 +104,26 @@ type Config struct {
 	// are deduplicated in the measurements. The schedule's virtual times
 	// are relative to the run start (warmup included).
 	Faults *faults.Schedule
+
+	// Members is the epoch-0 active member set (nil = all N parties).
+	// Parties outside it run as observers — tracking the DAG without
+	// proposing — until a committed join admits them at an epoch fence.
+	Members []types.NodeID
+	// ReconfigDelay overrides the fence distance (core.Config.ReconfigDelay).
+	ReconfigDelay types.Round
+	// Reconfigs schedules signed membership transactions over the run:
+	// each is built under the deployment key universe and submitted to
+	// every node's pending queue at its virtual time (relative to run
+	// start, warmup included), committing like any other input.
+	Reconfigs []Reconfig
+}
+
+// Reconfig is one scheduled membership change.
+type Reconfig struct {
+	At     time.Duration
+	Action types.ReconfigAction
+	Node   types.NodeID
+	Addr   string // advertised dial address (joins)
 }
 
 // Result is one experiment outcome.
@@ -152,6 +172,11 @@ type Result struct {
 	// is set — the execution-determinism witness: identical across nodes
 	// holding the blocks, and invariant under the worker count.
 	StateRoots []types.Hash
+
+	// Epochs is node 0's final epoch table (oldest retained first): the
+	// reconfiguration witness — membership, fence rounds, and re-sampled
+	// clan assignments must reproduce byte-identically per seed.
+	Epochs []core.EpochInfo
 }
 
 // PaperClanSize returns the clan sizes used in Section 7 (failure
@@ -227,10 +252,24 @@ func Run(cfg Config) Result {
 	clanSize := 0
 	switch cfg.Mode {
 	case core.ModeSingleClan:
-		clans = [][]types.NodeID{committee.BalancedClan(regions, cfg.ClanSize, cfg.Seed+7)}
+		if cfg.Members != nil {
+			// Membership-restricted deployments sample over the member
+			// list (region balance presumes the full universe).
+			size := cfg.ClanSize
+			if size > len(cfg.Members) {
+				size = len(cfg.Members)
+			}
+			clans = [][]types.NodeID{committee.SampleClanMembers(cfg.Members, size, cfg.Seed+7)}
+		} else {
+			clans = [][]types.NodeID{committee.BalancedClan(regions, cfg.ClanSize, cfg.Seed+7)}
+		}
 		clanSize = cfg.ClanSize
 	case core.ModeMultiClan:
-		clans = committee.BalancedPartition(regions, cfg.NumClans, cfg.Seed+7)
+		if cfg.Members != nil {
+			clans = committee.PartitionMembers(cfg.Members, cfg.NumClans, cfg.Seed+7)
+		} else {
+			clans = committee.BalancedPartition(regions, cfg.NumClans, cfg.Seed+7)
+		}
 		clanSize = len(clans[0])
 	}
 
@@ -383,6 +422,8 @@ func Run(cfg Config) Result {
 			Blocks:          blocks,
 			LeadersPerRound: cfg.LeadersPerRound,
 			RoundTimeout:    cfg.RoundTimeout,
+			Members:         cfg.Members,
+			ReconfigDelay:   cfg.ReconfigDelay,
 			GCDepth:         16,
 			Store:           st,
 			ExecQueue:       ExecQueue,
@@ -408,6 +449,20 @@ func Run(cfg Config) Result {
 	}
 	for _, n := range nodes {
 		n.Start()
+	}
+	// Scheduled membership changes: sign under the deployment key universe
+	// and submit to every node's pending queue at the scripted virtual time
+	// (crashed incarnations lose their copy; survivors carry the tx).
+	for _, rc := range cfg.Reconfigs {
+		rc := rc
+		net.Clock(0).After(rc.At, func() {
+			tx := types.ReconfigTx{Action: rc.Action, Node: rc.Node, Addr: rc.Addr}
+			copy(tx.PubKey[:], keys[rc.Node].Pub)
+			core.SignReconfig(reg, &keys[rc.Node], &tx)
+			for i := range nodes {
+				nodes[i].SubmitReconfig(tx)
+			}
+		})
 	}
 	if cfg.Faults != nil {
 		faults.Drive(*cfg.Faults, net.Clock(0), fnet, faults.Hooks{
@@ -489,6 +544,7 @@ func Run(cfg Config) Result {
 	res.TPS = float64(res.OrderedTxs) / cfg.Measure.Seconds()
 	res.Pipeline = metrics.Merge(snaps...)
 	res.Order = order
+	res.Epochs = nodes[0].EpochTable()
 	if engines != nil {
 		// Safe to read: every exec stage was flushed above, so the
 		// engines are quiescent.

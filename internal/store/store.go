@@ -627,6 +627,85 @@ func (s *Disk) Len() int {
 	return len(s.m)
 }
 
+// Snapshot streams a point-in-time copy of the live table to w as a valid
+// WAL: one CRC-framed recPut record per key, in sorted key order (so
+// identical tables snapshot byte-identically, unlike compactLocked's map
+// iteration). Keys matching any of skipPrefixes are omitted — consensus uses
+// this to withhold node-local records (the proposal highwater) from snapshots
+// served to joining peers.
+//
+// Snapshot acquires fmu before mu — the same order as the committer — so it
+// never races a group flush: the table it reads is a committed prefix of the
+// WAL, and every write issued after Snapshot returns lands strictly after the
+// snapshot point. A reader that crashes mid-stream leaves a torn tail that
+// replay truncates, exactly like a torn WAL.
+func (s *Disk) Snapshot(w io.Writer, skipPrefixes ...string) error {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	keys := make([]string, 0, len(s.m))
+outer:
+	for k := range s.m {
+		for _, p := range skipPrefixes {
+			if strings.HasPrefix(k, p) {
+				continue outer
+			}
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hdr := make([]byte, 8)
+	var body []byte
+	for _, k := range keys {
+		body = append(body[:0], recPut)
+		body = encodeKV(body, []byte(k), s.m[k])
+		binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(body))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore materializes a snapshot stream as a fresh store directory: the
+// stream becomes dir's WAL verbatim, so a subsequent Open replays it (and any
+// WAL suffix appended afterwards) through the normal recovery path. It
+// refuses to overwrite an existing WAL — restore targets a new or wiped
+// directory, never a live store. A truncated or damaged stream is safe:
+// replay stops at the first bad record.
+func Restore(dir string, r io.Reader) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := WALPath(dir)
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("store: restore target %s already has a WAL", dir)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // Compact rewrites the WAL as a snapshot of the live table.
 func (s *Disk) Compact() error {
 	s.fmu.Lock()

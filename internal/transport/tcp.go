@@ -97,9 +97,13 @@ func NewTCPEndpoint(self types.NodeID, addrs map[types.NodeID]string) (*TCPEndpo
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	book := make(map[types.NodeID]string, len(addrs))
+	for id, a := range addrs {
+		book[id] = a
+	}
 	e := &TCPEndpoint{
 		id:       self,
-		addrs:    addrs,
+		addrs:    book,
 		ln:       ln,
 		mb:       newMailbox(),
 		peers:    map[types.NodeID]*peerConn{},
@@ -130,14 +134,40 @@ func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 // SetPeerAddr rebinds one peer's dial address. It exists for bootstrap
 // choreography where every node listens on ":0" first and the real ports are
 // exchanged afterwards (cmd/loadgen's self-hosted cluster, the TCP tests).
-// Must be called before any traffic flows toward the peer: the address book
-// is read without synchronization by writer goroutines once dials begin.
+// A rebind takes effect on the peer's next (re)dial; established connections
+// are not torn down.
 func (e *TCPEndpoint) SetPeerAddr(id types.NodeID, addr string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.addrs[id]; ok {
 		e.addrs[id] = addr
 	}
+}
+
+// AddPeer admits a peer mid-run: it is added to the address book (or its
+// address rebound if already present), so Broadcast reaches it, inbound
+// handshakes from it are accepted, and outbound frames dial addr. This is the
+// transport half of epoch reconfiguration — a committed join's dial address
+// flows here via the core OnReconfig callback.
+func (e *TCPEndpoint) AddPeer(id types.NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.addrs[id] = addr
+}
+
+// addrOf reads a peer's dial address under the lock (writer goroutines call
+// this on every dial, racing AddPeer/SetPeerAddr otherwise).
+func (e *TCPEndpoint) addrOf(id types.NodeID) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a, ok := e.addrs[id]
+	return a, ok
+}
+
+// knownPeer reports whether id is in the address book.
+func (e *TCPEndpoint) knownPeer(id types.NodeID) bool {
+	_, ok := e.addrOf(id)
+	return ok
 }
 
 // Clock returns a wall clock whose callbacks are serialized with this
@@ -195,10 +225,12 @@ func (e *TCPEndpoint) Multicast(tos []types.NodeID, m types.Message) {
 // inputs enqueue identical sequences — map iteration order used to make
 // otherwise-reproducible runs diverge.
 func (e *TCPEndpoint) Broadcast(m types.Message) {
+	e.mu.Lock()
 	ids := make([]types.NodeID, 0, len(e.addrs))
 	for id := range e.addrs {
 		ids = append(ids, id)
 	}
+	e.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	e.Multicast(ids, m)
 }
@@ -372,7 +404,18 @@ func (e *TCPEndpoint) writeLoop(id types.NodeID, p *peerConn) {
 				}
 			}
 			for conn == nil {
-				c, err := net.DialTimeout("tcp", e.addrs[id], 2*time.Second)
+				addr, ok := e.addrOf(id)
+				if !ok {
+					// Unknown peer (e.g. admitted by a reconfig this
+					// party has not processed yet): back off and re-check
+					// — AddPeer may land any moment.
+					if !sleepBackoff() {
+						releaseBatch()
+						return
+					}
+					continue
+				}
+				c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 				if err != nil {
 					if !sleepBackoff() {
 						releaseBatch()
@@ -469,7 +512,7 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		return
 	}
 	from := types.NodeID(binary.BigEndian.Uint16(hello[:]))
-	if _, ok := e.addrs[from]; !ok {
+	if !e.knownPeer(from) {
 		return // unknown peer
 	}
 	// Zero-copy receive: frames are sliced out of pooled chunks and decoded

@@ -20,6 +20,14 @@ func FuzzDecode(f *testing.F) {
 		StrongEdges: []VertexRef{{Round: 8, Source: 0}, {Round: 8, Source: 7}, {Round: 8, Source: 13}},
 		WeakEdges:   []VertexRef{{Round: 5, Source: 2}, {Round: 7, Source: 40}},
 		TC:          &TimeoutCert{Round: 8, Agg: AggSig{Bitmap: []byte{0x55}}}}
+	// Exercise the epoch/reconfig tail: a post-fence vertex carrying both a
+	// join (with address + pubkey) and a leave.
+	vEpoch := &Vertex{Round: 40, Source: 2, BlockDigest: digest, Epoch: 3,
+		StrongEdges: []VertexRef{{Round: 39, Source: 1}},
+		Reconfig: []ReconfigTx{
+			{Action: ReconfigJoin, Node: 9, Addr: "10.0.0.9:7000", PubKey: digest, Sig: sig},
+			{Action: ReconfigLeave, Node: 3, Sig: sig},
+		}}
 	seeds := []Message{
 		&ValMsg{Vertex: v, Sig: sig},
 		&ValMsg{Vertex: vWide, Sig: sig},
@@ -33,6 +41,9 @@ func FuzzDecode(f *testing.F) {
 		&TCMsg{TC: TimeoutCert{Round: 5, Agg: AggSig{Bitmap: []byte{7}}}},
 		&VtxReqMsg{Pos: Position{3, 1}},
 		&VtxRspMsg{Vertex: v},
+		&ValMsg{Vertex: vEpoch, Sig: sig},
+		&SnapReqMsg{},
+		&SnapRspMsg{Data: []byte("wal-bytes")},
 		&BcastMsg{K: KindBVal, Sender: 1, Seq: 2, Digest: digest, Data: []byte("d"), HasData: true},
 	}
 	for _, m := range seeds {
@@ -125,6 +136,20 @@ func TestWireSizeMatchesMarshal(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			v.NVC = &NoVoteCert{Round: v.Round - 1, Agg: randAgg()}
 		}
+		if rng.Intn(2) == 0 {
+			v.Epoch = rng.Uint64() >> rng.Intn(60)
+			for i := rng.Intn(3); i > 0; i-- {
+				addr := make([]byte, rng.Intn(MaxReconfigAddr))
+				rng.Read(addr)
+				v.Reconfig = append(v.Reconfig, ReconfigTx{
+					Action: ReconfigAction(1 + rng.Intn(2)),
+					Node:   NodeID(rng.Intn(1 << 14)),
+					Addr:   string(addr),
+					PubKey: randHash(),
+					Sig:    randSig(),
+				})
+			}
+		}
 		v.NormalizeEdges()
 		return v
 	}
@@ -177,6 +202,8 @@ func TestWireSizeMatchesMarshal(t *testing.T) {
 			&TCMsg{TC: TimeoutCert{Round: Round(rng.Intn(1 << 20)), Agg: randAgg()}},
 			&VtxReqMsg{Pos: randPos()},
 			&VtxRspMsg{Vertex: randVertex(), Block: valBlock},
+			&SnapReqMsg{},
+			&SnapRspMsg{Data: func() []byte { d := make([]byte, rng.Intn(600)); rng.Read(d); return d }()},
 			bcast,
 			cert,
 		}

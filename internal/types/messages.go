@@ -18,6 +18,9 @@ const (
 	KindTC       MsgKind = 9
 	KindVtxReq   MsgKind = 10
 	KindVtxRsp   MsgKind = 11
+	// Snapshot state-sync (join / catch-up bootstrap, epoch reconfig).
+	KindSnapReq MsgKind = 12
+	KindSnapRsp MsgKind = 13
 
 	// Generic reliable-broadcast messages (internal/rbc baselines and the
 	// standalone tribe-assisted RBC of Sections 3-4).
@@ -77,6 +80,10 @@ func Decode(b []byte) (Message, error) {
 		m, err = unmarshalVtxReq(body)
 	case KindVtxRsp:
 		m, err = unmarshalVtxRsp(body, false)
+	case KindSnapReq:
+		m, err = unmarshalSnapReq(body)
+	case KindSnapRsp:
+		m, err = unmarshalSnapRsp(body)
 	case KindBVal, KindBEcho, KindBReady, KindBCert, KindBReq, KindBRsp:
 		m, err = unmarshalBcast(body, kind, false)
 	default:

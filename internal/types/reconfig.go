@@ -1,0 +1,149 @@
+package types
+
+import "fmt"
+
+// ReconfigAction discriminates membership changes.
+type ReconfigAction uint8
+
+const (
+	// ReconfigJoin admits Node (with its dial address) into the active
+	// member set at the next epoch fence.
+	ReconfigJoin ReconfigAction = 1
+	// ReconfigLeave retires Node from the active member set; it keeps
+	// running as an observer and may rejoin later.
+	ReconfigLeave ReconfigAction = 2
+)
+
+// Limits on attacker-controlled reconfiguration payloads: a vertex carries at
+// most MaxReconfigPerVertex transactions and an address is bounded so a
+// Byzantine proposer cannot inflate vertices past validation.
+const (
+	MaxReconfigPerVertex = 16
+	MaxReconfigAddr      = 128
+)
+
+// ReconfigTx is a signed membership-change request. It is ordered through
+// the DAG like any other transaction (it rides in the vertex, which
+// replicates tribe-wide, not in the clan-confined block); once a leader
+// commit orders it, every party deterministically schedules the same epoch
+// fence. Sig is the affected node's signature over the reconfig domain
+// (core's reconfigCtx), so only the node itself can join or leave.
+type ReconfigTx struct {
+	Action ReconfigAction
+	Node   NodeID
+	// Addr is the node's dial address (joins only; empty for leaves).
+	Addr string
+	// PubKey pins the joining node's public key; parties check it against
+	// the registry before counting the transaction.
+	PubKey [32]byte
+	Sig    SigBytes
+}
+
+// SigningBytes appends the fields covered by Sig (everything but Sig).
+func (tx *ReconfigTx) SigningBytes(b []byte) []byte {
+	b = append(b, byte(tx.Action))
+	b = PutUvarint(b, uint64(tx.Node))
+	b = PutUvarint(b, uint64(len(tx.Addr)))
+	b = append(b, tx.Addr...)
+	return append(b, tx.PubKey[:]...)
+}
+
+// Marshal appends the canonical encoding of tx.
+func (tx *ReconfigTx) Marshal(b []byte) []byte {
+	b = tx.SigningBytes(b)
+	return append(b, tx.Sig[:]...)
+}
+
+// WireSize is the encoded size of tx.
+func (tx *ReconfigTx) WireSize() int {
+	return 1 + uvarintLen(uint64(tx.Node)) + uvarintLen(uint64(len(tx.Addr))) + len(tx.Addr) + 32 + 64
+}
+
+// UnmarshalReconfigTx decodes one transaction and returns the remaining
+// bytes.
+func UnmarshalReconfigTx(b []byte) (ReconfigTx, []byte, error) {
+	var tx ReconfigTx
+	if len(b) < 1 {
+		return tx, nil, fmt.Errorf("types: short reconfig action")
+	}
+	tx.Action = ReconfigAction(b[0])
+	b = b[1:]
+	if tx.Action != ReconfigJoin && tx.Action != ReconfigLeave {
+		return tx, nil, fmt.Errorf("types: bad reconfig action %d", tx.Action)
+	}
+	u, b, err := Uvarint(b)
+	if err != nil {
+		return tx, nil, err
+	}
+	if u > 0xFFFF {
+		return tx, nil, fmt.Errorf("types: reconfig node %d out of range", u)
+	}
+	tx.Node = NodeID(u)
+	if u, b, err = Uvarint(b); err != nil {
+		return tx, nil, err
+	}
+	if u > MaxReconfigAddr || u > uint64(len(b)) {
+		return tx, nil, fmt.Errorf("types: reconfig addr length %d exceeds bound", u)
+	}
+	tx.Addr = string(b[:u])
+	b = b[u:]
+	if len(b) < 32+64 {
+		return tx, nil, fmt.Errorf("types: short reconfig key/sig")
+	}
+	copy(tx.PubKey[:], b[:32])
+	copy(tx.Sig[:], b[32:96])
+	return tx, b[96:], nil
+}
+
+// SnapReqMsg asks a peer for a point-in-time store snapshot (the join /
+// catch-up bootstrap path). The responder streams its snapshot back in a
+// SnapRspMsg; the requester restores it as its WAL and replays the suffix.
+type SnapReqMsg struct{}
+
+func (m *SnapReqMsg) Kind() MsgKind { return KindSnapReq }
+
+func (m *SnapReqMsg) Marshal(b []byte) []byte { return b }
+
+func (m *SnapReqMsg) WireSize() int { return 0 }
+
+func unmarshalSnapReq(b []byte) (*SnapReqMsg, error) {
+	if len(b) != 0 {
+		return nil, fmt.Errorf("types: snapreq trailing bytes")
+	}
+	return &SnapReqMsg{}, nil
+}
+
+// SnapRspMsg carries a store snapshot: a self-delimiting stream of WAL
+// records (CRC-framed puts in sorted key order, see store.Snapshot). A torn
+// or damaged stream is safe to restore — WAL replay truncates at the first
+// bad record.
+type SnapRspMsg struct {
+	Data []byte
+}
+
+func (m *SnapRspMsg) Kind() MsgKind { return KindSnapRsp }
+
+func (m *SnapRspMsg) Marshal(b []byte) []byte {
+	b = PutUvarint(b, uint64(len(m.Data)))
+	return append(b, m.Data...)
+}
+
+func (m *SnapRspMsg) WireSize() int {
+	return uvarintLen(uint64(len(m.Data))) + len(m.Data)
+}
+
+func unmarshalSnapRsp(b []byte) (*SnapRspMsg, error) {
+	n, b, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if n != uint64(len(b)) {
+		return nil, fmt.Errorf("types: snaprsp data length %d != %d", n, len(b))
+	}
+	m := &SnapRspMsg{}
+	if n > 0 {
+		m.Data = make([]byte, n)
+		copy(m.Data, b)
+	}
+	return m, nil
+}

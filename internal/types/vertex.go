@@ -83,6 +83,16 @@ type Vertex struct {
 	// TC justifies entering this round past a stalled previous round.
 	// Nil otherwise.
 	TC *TimeoutCert
+	// Epoch is the configuration epoch Round belongs to. Parties reject
+	// vertices whose epoch disagrees with their own epoch table for that
+	// round, so the whole tribe crosses every reconfiguration fence on the
+	// same round boundary.
+	Epoch uint64
+	// Reconfig carries ordered membership-change requests (at most
+	// MaxReconfigPerVertex). They ride in the vertex rather than the block
+	// because vertices replicate tribe-wide while blocks are clan-confined
+	// — every party must see a reconfiguration to schedule the fence.
+	Reconfig []ReconfigTx
 
 	// dig caches the digest. Valid only while the vertex is immutable —
 	// protocol code finalizes a vertex (NormalizeEdges) before first use.
@@ -176,6 +186,11 @@ func (v *Vertex) Marshal(b []byte) []byte {
 	} else {
 		b = append(b, 0)
 	}
+	b = PutUvarint(b, v.Epoch)
+	b = PutUvarint(b, uint64(len(v.Reconfig)))
+	for i := range v.Reconfig {
+		b = v.Reconfig[i].Marshal(b)
+	}
 	return b
 }
 
@@ -237,6 +252,22 @@ func UnmarshalVertex(b []byte) (*Vertex, []byte, error) {
 	} else {
 		b = b[1:]
 	}
+	if v.Epoch, b, err = Uvarint(b); err != nil {
+		return nil, nil, err
+	}
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, nil, err
+	}
+	if u > MaxReconfigPerVertex {
+		return nil, nil, fmt.Errorf("types: %d reconfig txs exceed per-vertex bound", u)
+	}
+	for i := uint64(0); i < u; i++ {
+		var tx ReconfigTx
+		if tx, b, err = UnmarshalReconfigTx(b); err != nil {
+			return nil, nil, err
+		}
+		v.Reconfig = append(v.Reconfig, tx)
+	}
 	return v, b, nil
 }
 
@@ -260,6 +291,10 @@ func (v *Vertex) WireSize() int {
 	}
 	if v.TC != nil {
 		n += uvarintLen(uint64(v.TC.Round)) + v.TC.Agg.WireSize()
+	}
+	n += uvarintLen(v.Epoch) + uvarintLen(uint64(len(v.Reconfig)))
+	for i := range v.Reconfig {
+		n += v.Reconfig[i].WireSize()
 	}
 	return n
 }

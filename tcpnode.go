@@ -1,6 +1,7 @@
 package clanbft
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -44,8 +45,23 @@ func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
 	if err := o.fill(); err != nil {
 		return nil, err
 	}
-	if len(o.Addrs) != o.N {
-		return nil, fmt.Errorf("clanbft: address book has %d entries, need %d", len(o.Addrs), o.N)
+	// The address book needs this party and every epoch-0 member; parties
+	// that join later are dialed once their committed ReconfigTx advertises
+	// an address (core's OnReconfig feeds transport.AddPeer).
+	if _, ok := o.Addrs[o.Self]; !ok {
+		return nil, fmt.Errorf("clanbft: address book missing self %d", o.Self)
+	}
+	members := o.Members
+	if members == nil {
+		members = make([]NodeID, o.N)
+		for i := range members {
+			members[i] = NodeID(i)
+		}
+	}
+	for _, id := range members {
+		if _, ok := o.Addrs[id]; !ok {
+			return nil, fmt.Errorf("clanbft: address book missing epoch-0 member %d", id)
+		}
 	}
 	keys := crypto.GenerateKeys(o.N, uint64(o.Seed)+1)
 	reg := crypto.NewRegistry(keys, !o.NoCheckSigs)
@@ -57,9 +73,17 @@ func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
 		if size == 0 {
 			size = PlanClanSize(o.N, o.FailureProb)
 		}
-		clans = [][]types.NodeID{committee.SampleClan(o.N, size, o.Seed+2)}
+		if o.Members != nil {
+			clans = [][]types.NodeID{committee.SampleClanMembers(o.Members, min(size, len(o.Members)), o.Seed+2)}
+		} else {
+			clans = [][]types.NodeID{committee.SampleClan(o.N, size, o.Seed+2)}
+		}
 	case ModeMultiClan:
-		clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
+		if o.Members != nil {
+			clans = committee.PartitionMembers(o.Members, o.NumClans, o.Seed+2)
+		} else {
+			clans = committee.PartitionClans(o.N, o.NumClans, o.Seed+2)
+		}
 	}
 
 	ep, err := transport.NewTCPEndpoint(o.Self, o.Addrs)
@@ -98,6 +122,17 @@ func NewTCPNode(o TCPNodeOptions) (*TCPNode, error) {
 		RoundTimeout:    o.RoundTimeout,
 		VerifyCores:     verifyCores,
 		ExecQueue:       o.ExecQueue,
+		Members:         o.Members,
+		ReconfigDelay:   o.ReconfigDelay,
+		// Installed epochs admit joined peers to the transport layer so
+		// Broadcast reaches them and their handshakes are accepted.
+		OnReconfig: func(info core.EpochInfo) {
+			for id, addr := range info.Joins {
+				if id != o.Self {
+					ep.AddPeer(id, addr)
+				}
+			}
+		},
 		Deliver: func(cv core.CommittedVertex) {
 			for _, fn := range n.onCommit {
 				fn(cv)
@@ -197,4 +232,82 @@ func (n *TCPNode) WaitRound(r types.Round, timeout time.Duration) bool {
 		time.Sleep(5 * time.Millisecond)
 	}
 	return n.node.Round() >= r
+}
+
+// SubmitReconfig queues a signed membership transaction for inclusion in
+// this node's next proposal. Build and sign it with SignReconfigTx (or a
+// real PKI in production).
+func (n *TCPNode) SubmitReconfig(tx ReconfigTx) { n.node.SubmitReconfig(tx) }
+
+// EpochTable returns the node's retained epochs, oldest first.
+func (n *TCPNode) EpochTable() []EpochInfo { return n.node.EpochTable() }
+
+// CurrentEpoch returns the epoch governing the node's current round.
+func (n *TCPNode) CurrentEpoch() uint64 { return n.node.CurrentEpoch() }
+
+// SignReconfigTx builds a signed membership transaction under the
+// deployment's deterministic key universe (n parties, seed as in Options).
+// The affected party's own key signs: a join is a self-attestation carrying
+// the dial address the new party will listen on.
+func SignReconfigTx(n int, seed int64, action types.ReconfigAction, id NodeID, addr string) ReconfigTx {
+	keys := crypto.GenerateKeys(n, uint64(seed)+1)
+	reg := crypto.NewRegistry(keys, true)
+	tx := ReconfigTx{Action: action, Node: id, Addr: addr}
+	copy(tx.PubKey[:], keys[id].Pub)
+	core.SignReconfig(reg, &keys[id], &tx)
+	return tx
+}
+
+// FetchSnapshot bootstraps a joining (or lagging) node's store from a
+// running donor: it binds a throwaway endpoint on o.Addrs[o.Self], requests
+// a point-in-time snapshot (KindSnapReq), and restores the stream into
+// o.StoreDir, from which NewTCPNode + Start recover — replaying the snapshot
+// plus any WAL suffix instead of re-running the whole protocol history.
+//
+// The donor replies over its own outbound connection, so this party's
+// address must already be in the donor's book: for a joiner that happens
+// the moment its committed ReconfigTx installs (AddPeer). Call before
+// NewTCPNode; the temporary endpoint is closed so the real node can rebind
+// the same address.
+func FetchSnapshot(o TCPNodeOptions, donor NodeID, timeout time.Duration) error {
+	if o.StoreDir == "" {
+		return fmt.Errorf("clanbft: FetchSnapshot needs StoreDir")
+	}
+	donorAddr, ok := o.Addrs[donor]
+	if !ok {
+		return fmt.Errorf("clanbft: no address for donor %d", donor)
+	}
+	ep, err := transport.NewTCPEndpoint(o.Self, map[NodeID]string{
+		o.Self: o.Addrs[o.Self],
+		donor:  donorAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	got := make(chan []byte, 1)
+	ep.SetHandler(func(from types.NodeID, m types.Message) {
+		if rsp, ok := m.(*types.SnapRspMsg); ok && from == donor {
+			select {
+			case got <- rsp.Data:
+			default:
+			}
+		}
+	})
+	// Re-request on an interval: the first SnapReq can race the donor
+	// learning this party's address from the committed join.
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(timeout)
+	ep.Send(donor, &types.SnapReqMsg{})
+	for {
+		select {
+		case data := <-got:
+			return store.Restore(o.StoreDir, bytes.NewReader(data))
+		case <-tick.C:
+			ep.Send(donor, &types.SnapReqMsg{})
+		case <-deadline:
+			return fmt.Errorf("clanbft: snapshot fetch from %d timed out", donor)
+		}
+	}
 }

@@ -41,7 +41,7 @@ func runTCPCluster(t *testing.T, zerocopy bool, seed int64, minCommits int) [][]
 	}
 	for _, nd := range nodes {
 		for id, a := range addrs {
-			nd.opts.Addrs[id] = a
+			nd.SetPeerAddr(id, a)
 		}
 	}
 	var mu sync.Mutex
