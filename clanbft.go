@@ -140,6 +140,18 @@ type Options struct {
 	// per-round metadata from O(n^2) toward near-linear at large n; see
 	// core.Config.SparseEdges.
 	SparseEdges bool
+	// LeaderReputation enables the reputation-driven leader schedule:
+	// committed timeout/no-vote evidence demotes repeat offenders from
+	// the rotation for ReputationWindow rounds (default 64), keeping the
+	// anchor path away from crashed or slow parties. Deterministic:
+	// every node derives the identical schedule from the total order.
+	LeaderReputation bool
+	// ReputationWindow is the demotion length in rounds (default 64).
+	ReputationWindow types.Round
+	// AnchorWait caps the adaptive pause for the remaining leader
+	// anchors once a round's quorum (incl. the primary) is delivered;
+	// 0 disables the pipelined-anchor wait.
+	AnchorWait time.Duration
 }
 
 func (o *Options) fill() error {
@@ -253,23 +265,26 @@ func NewCluster(o Options) (*Cluster, error) {
 			c.stores = append(c.stores, disk)
 		}
 		node := core.New(core.Config{
-			Self:            id,
-			N:               o.N,
-			Mode:            o.Mode,
-			Clans:           c.clans,
-			Key:             &c.keys[i],
-			Reg:             c.reg,
-			Costs:           crypto.ZeroCosts(),
-			Store:           st,
-			Blocks:          c.pools[i],
-			LeadersPerRound: o.LeadersPerRound,
-			RoundTimeout:    o.RoundTimeout,
-			VerifyCores:     verifyCores,
-			ExecQueue:       o.ExecQueue,
-			SparseEdges:     o.SparseEdges,
-			SparseSeed:      uint64(o.Seed),
-			Members:         o.Members,
-			ReconfigDelay:   o.ReconfigDelay,
+			Self:             id,
+			N:                o.N,
+			Mode:             o.Mode,
+			Clans:            c.clans,
+			Key:              &c.keys[i],
+			Reg:              c.reg,
+			Costs:            crypto.ZeroCosts(),
+			Store:            st,
+			Blocks:           c.pools[i],
+			LeadersPerRound:  o.LeadersPerRound,
+			RoundTimeout:     o.RoundTimeout,
+			VerifyCores:      verifyCores,
+			ExecQueue:        o.ExecQueue,
+			SparseEdges:      o.SparseEdges,
+			SparseSeed:       uint64(o.Seed),
+			Members:          o.Members,
+			ReconfigDelay:    o.ReconfigDelay,
+			LeaderReputation: o.LeaderReputation,
+			ReputationWindow: o.ReputationWindow,
+			AnchorWait:       o.AnchorWait,
 			// Batch delivery: per-commit callbacks see each vertex in
 			// order, then batch callbacks get the whole consecutive
 			// run (with ExecQueue > 0 a run is everything queued since

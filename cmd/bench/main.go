@@ -58,7 +58,7 @@ func main() {
 		quick = flag.Bool("quick", false, "short windows and fewer load points")
 		full  = flag.Bool("full", false, "the paper's full 13-point load sweep (hours)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
-		mout  = flag.String("micro-out", "BENCH_PR9.json", "output path for -exp micro results")
+		mout  = flag.String("micro-out", "BENCH_PR10.json", "output path for -exp micro results")
 		mbase = flag.String("baseline", "", "baseline JSON to gate -exp micro against (allocs/op, fsyncs/op, commits/sec)")
 		nchao = flag.Int("chaos-scenarios", 10, "seeds per clan mode for -exp chaos")
 		warmF = flag.Duration("warmup", 4*time.Second, "simulated warmup window")
@@ -170,6 +170,17 @@ func main() {
 	if *exp == "reconfig" {
 		if err := runReconfig(*seed, *mbase); err != nil {
 			fail("reconfig", err)
+		}
+		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+		finishProfiles()
+		return
+	}
+
+	// The latency-compression experiment runs only when named: static vs
+	// reputation+pipelined schedules under a crashed rotation member.
+	if *exp == "latency" {
+		if err := runLatency(*seed, *quick); err != nil {
+			fail("latency", err)
 		}
 		fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
 		finishProfiles()

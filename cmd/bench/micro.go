@@ -106,6 +106,14 @@ func compareBaseline(rows []perfbench.Row, path string) error {
 		if want, ok := b.Extra["commits/sec"]; ok {
 			checkMin(r.Name, "commits/sec", r.Extra["commits/sec"], want)
 		}
+		if want, ok := b.Extra["commit_latency_p50"]; ok {
+			// Creation-to-ordering p50 under the faulted latency-compression
+			// scenario (milliseconds; simulated time, so deterministic).
+			// Lower is better: a regression in offense detection, the apply
+			// fence, or the slot-fate rules parks the p50 near the
+			// RoundTimeout — a multiple of the baseline, not a few percent.
+			check(r.Name, "commit_latency_p50", r.Extra["commit_latency_p50"], want, 0)
+		}
 		if want, ok := b.Extra["bytes/commit"]; ok {
 			// The sparse-edge metadata claim: wire bytes per committed
 			// vertex must not creep back up. The number is deterministic

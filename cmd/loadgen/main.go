@@ -95,6 +95,9 @@ func main() {
 	fmt.Printf("ack latency p50=%v p99=%v\n",
 		rep.AckLat.Quantile(0.50).Round(time.Microsecond),
 		rep.AckLat.Quantile(0.99).Round(time.Microsecond))
+	fmt.Printf("server commit latency p50=%v p99=%v\n",
+		rep.SrvCommit.Quantile(0.50).Round(time.Millisecond),
+		rep.SrvCommit.Quantile(0.99).Round(time.Millisecond))
 	if len(rep.RejectsBy) > 0 {
 		reasons := make([]string, 0, len(rep.RejectsBy))
 		for r := range rep.RejectsBy {
@@ -113,6 +116,7 @@ func main() {
 		if err := load.WriteHistFile(*histOut, map[string]*load.Hist{
 			"e2e_commit": rep.E2E,
 			"admission":  rep.AckLat,
+			"srv_commit": rep.SrvCommit,
 		}); err != nil {
 			fatal("hist-out: %v", err)
 		}

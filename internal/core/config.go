@@ -99,6 +99,10 @@ type CommittedVertex struct {
 	// measurement code must use it instead of reading the clock from the
 	// callback.
 	OrderedAt time.Duration
+	// ProposedAt is the proposer's clock reading when the vertex was built
+	// (Vertex.CreatedAt); OrderedAt-ProposedAt is the vertex's end-to-end
+	// consensus latency, recorded in the order.commit_latency histogram.
+	ProposedAt time.Duration
 }
 
 // Config parameterizes a consensus node.
@@ -193,6 +197,22 @@ type Config struct {
 	// commit opportunistically under the same 2f+1-votes rule. Default 1.
 	LeadersPerRound int
 
+	// LeaderReputation enables the Shoal++-style reputation schedule:
+	// committed timeout/no-vote certificates ordered through the DAG
+	// demote the offending leader from the rotation for ReputationWindow
+	// rounds (see reputation.go). Off by default: the static round-robin
+	// schedule is preserved byte-for-byte.
+	LeaderReputation bool
+	// ReputationWindow is the demotion length in rounds (default 64).
+	ReputationWindow types.Round
+	// AnchorWait, when positive, bounds the extra time tryAdvance waits
+	// for the remaining reputable leader slots of the current round after
+	// the 2f+1 quorum (including the primary) is already in. The actual
+	// wait adapts: twice the observed quorum→anchor delivery gap, capped
+	// at AnchorWait. Zero disables the wait (advance on quorum+primary,
+	// the pre-reputation behavior).
+	AnchorWait time.Duration
+
 	// RoundTimeout bounds the wait for a round's leader vertex
 	// (default 3 s).
 	RoundTimeout time.Duration
@@ -263,6 +283,9 @@ func (c *Config) fill() {
 	}
 	if c.LeadersPerRound <= 0 {
 		c.LeadersPerRound = 1
+	}
+	if c.ReputationWindow == 0 {
+		c.ReputationWindow = 64
 	}
 	if c.LeadersPerRound > c.N {
 		c.LeadersPerRound = c.N
@@ -339,6 +362,20 @@ type Node struct {
 	novoteAggs  map[types.Round]*crypto.Aggregator
 	nvcs        map[types.Round]*types.NoVoteCert
 
+	// rep is the committed-evidence reputation table (reputation.go).
+	rep repState
+
+	// Pipelined-anchor pacing state (AnchorWait > 0): quorumAt records
+	// when each round first reached 2f+1 delivered including the primary;
+	// anchorEWMA smooths the quorum→secondary-anchor delivery gap;
+	// anchorWaived marks rounds whose pacing timer expired (advance
+	// without the missing anchors).
+	quorumAt         map[types.Round]time.Duration
+	anchorEWMA       time.Duration
+	anchorWaived     map[types.Round]bool
+	anchorTimer      transport.Timer
+	anchorTimerRound types.Round
+
 	// scratchSeen is a reusable N-sized buffer for validateVertex.
 	scratchSeen []bool
 
@@ -359,6 +396,8 @@ type Node struct {
 	mOrderCommits *metrics.Counter
 	mOrderVerts   *metrics.Counter
 	mOrderLat     *metrics.Histogram
+	mCommitLat    *metrics.Histogram
+	mAnchorGap    *metrics.Histogram
 	mExecDone     *metrics.Counter
 	mExecTxs      *metrics.Counter
 	mExecDeliver  *metrics.Histogram
@@ -392,7 +431,10 @@ type Metrics struct {
 	DirectCommits     int
 	IndirectCommits   int
 	Timeouts          int
-	LastOrderedRound  types.Round
+	// ReputationOffenses counts committed timeout/no-vote evidence folded
+	// into the leader schedule (0 unless LeaderReputation is on).
+	ReputationOffenses int
+	LastOrderedRound   types.Round
 }
 
 // New creates a consensus node bound to an endpoint and clock.
@@ -411,6 +453,7 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 		ord: orderState{
 			deliveredByRound: map[types.Round][]*types.Vertex{},
 			leaderDelivered:  map[types.Round]bool{},
+			slotDelivered:    map[types.Round]uint64{},
 			votes:            map[types.Position]map[types.NodeID]bool{},
 			committedDirect:  map[types.Position]bool{},
 			pendingInsert:    map[types.Position]*types.Vertex{},
@@ -424,8 +467,11 @@ func New(cfg Config, ep transport.Endpoint, clk transport.Clock) *Node {
 		tcs:           map[types.Round]*types.TimeoutCert{},
 		novoteAggs:    map[types.Round]*crypto.Aggregator{},
 		nvcs:          map[types.Round]*types.NoVoteCert{},
+		quorumAt:      map[types.Round]time.Duration{},
+		anchorWaived:  map[types.Round]bool{},
 		scratchSeen:   make([]bool, cfg.N),
 	}
+	n.rep.offenseSeen = map[types.Round]bool{}
 	n.vcosts = cfg.Costs
 	if cfg.VerifyCores > 1 {
 		n.vcosts = cfg.Costs.Parallel(cfg.VerifyCores)
@@ -464,6 +510,12 @@ func (n *Node) initMetrics() {
 	n.mOrderCommits = reg.Counter(types.StageOrder.Metric("commits"))
 	n.mOrderVerts = reg.Counter(types.StageOrder.Metric("vertices"))
 	n.mOrderLat = reg.Histogram(types.StageOrder.Metric("latency"))
+	// The latency spine: commit_latency is proposal stamp → ordered (the
+	// end-to-end consensus latency of each vertex); anchor_gap is the time
+	// between consecutive leader-anchor resolutions in drainCommits (small
+	// gaps = pipelined anchors, RoundTimeout-sized gaps = stalls).
+	n.mCommitLat = reg.Histogram("order.commit_latency")
+	n.mAnchorGap = reg.Histogram("order.anchor_gap")
 	// The full exec metric schema is registered here, once, for BOTH
 	// wirings — the synchronous inline path and the async execStage share
 	// one set of names, so snapshots are comparable across modes.
@@ -553,10 +605,12 @@ func (n *Node) blockClanAt(r types.Round, proposer types.NodeID) types.ClanID {
 }
 
 // leaderAt returns round r's k-th leader (k < LeadersPerRound). The schedule
-// is round-robin over the epoch's member list; every member proposes vertices
-// in every mode, so every member is eligible.
+// is round-robin over the round's leader-eligible members — the epoch member
+// list minus parties demoted by committed reputation evidence (identical to
+// the plain member list when LeaderReputation is off). Every member proposes
+// vertices in every mode, so every eligible member can anchor.
 func (n *Node) leaderAt(r types.Round, k int) types.NodeID {
-	ms := n.epochOf(r).members
+	ms := n.eligibleAt(r)
 	return ms[(uint64(r)*uint64(n.cfg.LeadersPerRound)+uint64(k))%uint64(len(ms))]
 }
 
@@ -567,13 +621,13 @@ func (n *Node) leader(r types.Round) types.NodeID { return n.leaderAt(r, 0) }
 // leaderIdx returns which leader slot (0..L-1) the position occupies, or -1
 // if it is not a leader position.
 func (n *Node) leaderIdx(pos types.Position) int {
-	ep := n.epochOf(pos.Round)
-	mi := ep.memberIdx[pos.Source]
-	if mi < 0 {
+	ms := n.eligibleAt(pos.Round)
+	mi := sort.Search(len(ms), func(i int) bool { return ms[i] >= pos.Source })
+	if mi == len(ms) || ms[mi] != pos.Source {
 		return -1
 	}
 	L := n.cfg.LeadersPerRound
-	M := uint64(len(ep.members))
+	M := uint64(len(ms))
 	base := uint64(pos.Round) * uint64(L) % M
 	k := (uint64(mi) + M - base) % M
 	if k < uint64(L) {

@@ -30,7 +30,16 @@ import (
 //     re-fetched later via the timeout/pull machinery — the propose
 //     throttle guarantees its honest proposer has processed the scheduling
 //     commit, which this party will also reach.
-func (n *Node) validateVertex(v *types.Vertex) bool {
+//
+// certified relaxes the leader-edge/TC rule: it is set on the pull path,
+// where the vertex arrives pinned by an echo certificate. The quorum behind
+// the certificate contains at least f+1 honest parties that ran the full
+// check in real time — when their reputation tables for the round were
+// final. A catching-up party cannot re-run that check faithfully (its table
+// lags its delivery frontier, and the leader it derives for the previous
+// round may be stale), so it trusts the certificate instead of rejecting
+// valid history.
+func (n *Node) validateVertex(v *types.Vertex, certified bool) bool {
 	ep := n.epochOf(v.Round)
 	if !ep.isMember[v.Source] || v.Epoch != ep.num {
 		return false
@@ -69,14 +78,16 @@ func (n *Node) validateVertex(v *types.Vertex) bool {
 			return false
 		}
 	}
-	prev := v.Round - 1
-	if !v.HasStrongEdgeTo(types.Position{Round: prev, Source: n.leader(prev)}) {
-		if v.TC == nil || v.TC.Round != prev || !n.validTC(v.TC, false) {
-			return false
-		}
-		if v.Source == n.leader(v.Round) {
-			if v.NVC == nil || v.NVC.Round != prev || !n.validNVC(v.NVC) {
+	if !certified {
+		prev := v.Round - 1
+		if !v.HasStrongEdgeTo(types.Position{Round: prev, Source: n.leader(prev)}) {
+			if v.TC == nil || v.TC.Round != prev || !n.validTC(v.TC, false) {
 				return false
+			}
+			if v.Source == n.leader(v.Round) {
+				if v.NVC == nil || v.NVC.Round != prev || !n.validNVC(v.NVC) {
+					return false
+				}
 			}
 		}
 	}
@@ -133,6 +144,19 @@ func (n *Node) tryAdvance() {
 		r := n.round
 		if len(n.ord.deliveredByRound[r]) >= n.quorum(r) {
 			ok := n.ord.leaderDelivered[r]
+			// Pipelined-anchor pacing: with the quorum and the primary in,
+			// briefly hold the next proposal for the remaining leader slots
+			// — a vote for every anchor keeps them all on the 3-delta
+			// direct-commit path. The hold is adaptive (twice the observed
+			// quorum→anchor gap, capped at AnchorWait) and applies only at
+			// the frontier: during catch-up the missing anchors are not
+			// coming, and after a waiver or timeout the round advances as
+			// before.
+			if ok && n.cfg.AnchorWait > 0 && r >= n.maxQuorumRound &&
+				!n.anchorWaived[r] && !n.allAnchorsIn(r) {
+				n.armAnchorTimer(r)
+				return
+			}
 			if !ok && n.tcs[r] != nil {
 				ok = n.leader(r+1) != n.cfg.Self || n.nvcs[r] != nil
 			}
@@ -160,6 +184,60 @@ func (n *Node) tryAdvance() {
 	}
 }
 
+// allAnchorsIn reports whether every leader slot of round r has delivered.
+// Slots beyond 64 are not tracked (slotDelivered is a bitmask); such
+// configurations fall back to the primary-only gate.
+func (n *Node) allAnchorsIn(r types.Round) bool {
+	L := n.cfg.LeadersPerRound
+	if L <= 1 || L > 64 {
+		return true
+	}
+	var full uint64
+	if L == 64 {
+		full = ^uint64(0)
+	} else {
+		full = uint64(1)<<uint(L) - 1
+	}
+	return n.ord.slotDelivered[r]&full == full
+}
+
+// armAnchorTimer bounds the pipelined-anchor wait for round r: when it fires
+// the round is waived and advancement proceeds without the missing anchors.
+// The duration adapts to the observed quorum→anchor delivery gap so a crashed
+// (not yet demoted) leader costs far less than a RoundTimeout.
+func (n *Node) armAnchorTimer(r types.Round) {
+	if n.anchorTimer != nil {
+		if n.anchorTimerRound == r {
+			return
+		}
+		n.anchorTimer.Stop()
+	}
+	d := n.cfg.AnchorWait
+	if n.anchorEWMA > 0 && 2*n.anchorEWMA < d {
+		d = 2 * n.anchorEWMA
+	}
+	n.anchorTimerRound = r
+	n.anchorTimer = n.clk.After(d, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.stopped {
+			return
+		}
+		n.anchorTimer = nil
+		n.anchorWaived[r] = true
+		n.tryAdvance()
+	})
+}
+
+// stopAnchorTimer disarms any pending pipelined-anchor wait (the round is
+// advancing or the node is shutting down).
+func (n *Node) stopAnchorTimer() {
+	if n.anchorTimer != nil {
+		n.anchorTimer.Stop()
+		n.anchorTimer = nil
+	}
+}
+
 // advanceTo moves this party to round r: members propose, observers (parties
 // outside round r's epoch) just track the round so the timer-driven pull
 // machinery keeps them current. An observer whose join fence has passed
@@ -179,6 +257,7 @@ func (n *Node) enterRound(r types.Round) {
 		n.roundTimer.Stop()
 		n.roundTimer = nil
 	}
+	n.stopAnchorTimer()
 	n.round = r
 	round := r
 	n.roundTimer = n.clk.After(n.cfg.RoundTimeout, func() {
@@ -201,8 +280,12 @@ func (n *Node) propose(r types.Round) {
 		n.roundTimer.Stop()
 		n.roundTimer = nil
 	}
+	n.stopAnchorTimer()
 	n.round = r
-	v := &types.Vertex{Round: r, Source: n.cfg.Self, Epoch: n.epochOf(r).num}
+	// The proposal stamp rides inside the signed vertex: OrderedAt minus
+	// this is the vertex's end-to-end consensus latency (the latency spine).
+	v := &types.Vertex{Round: r, Source: n.cfg.Self, Epoch: n.epochOf(r).num,
+		CreatedAt: int64(n.clk.Now())}
 	// Membership transactions ride in the vertex: vertices replicate
 	// tribe-wide, so the committed ReconfigTx reaches every party —
 	// observers included — as ordered state-machine input.

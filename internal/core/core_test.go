@@ -53,6 +53,9 @@ type topt struct {
 	sparse  bool           // sparse-edge DAG mode on every node
 	members []types.NodeID // epoch-0 members (nil = all n)
 	rdelay  types.Round    // ReconfigDelay override
+	rep     bool           // reputation-driven leader schedule
+	repWin  types.Round    // ReputationWindow override
+	anchor  time.Duration  // AnchorWait (pipelined-anchor pause cap)
 }
 
 func newTCluster(t *testing.T, n int, o topt) *tcluster {
@@ -82,18 +85,21 @@ func newTCluster(t *testing.T, n int, o topt) *tcluster {
 		i := i
 		id := types.NodeID(i)
 		node := New(Config{
-			Self:          id,
-			N:             n,
-			Mode:          o.mode,
-			Clans:         o.clans,
-			Key:           &c.keys[i],
-			Reg:           c.reg,
-			Blocks:        &testSource{id: id, txCount: o.txCount, txSize: 64},
-			RoundTimeout:  o.timeout,
-			SparseEdges:   o.sparse,
-			SparseSeed:    uint64(o.seed),
-			Members:       o.members,
-			ReconfigDelay: o.rdelay,
+			Self:             id,
+			N:                n,
+			Mode:             o.mode,
+			Clans:            o.clans,
+			Key:              &c.keys[i],
+			Reg:              c.reg,
+			Blocks:           &testSource{id: id, txCount: o.txCount, txSize: 64},
+			RoundTimeout:     o.timeout,
+			SparseEdges:      o.sparse,
+			SparseSeed:       uint64(o.seed),
+			Members:          o.members,
+			ReconfigDelay:    o.rdelay,
+			LeaderReputation: o.rep,
+			ReputationWindow: o.repWin,
+			AnchorWait:       o.anchor,
 			Deliver: func(cv CommittedVertex) {
 				c.orders[i] = append(c.orders[i], cv)
 			},
@@ -579,6 +585,140 @@ func TestFloodFarFutureViewStateBounded(t *testing.T) {
 	}
 }
 
+// TestFloodFarFutureMultiLeaderStateBounded extends the retention audit to
+// multi-leader rounds with the reputation schedule active. A crashed leader
+// makes every rotation pass produce timeout evidence, and a Byzantine party
+// floods validly signed far-future view traffic on top; afterwards
+//
+//   - the round-keyed view maps stay within the tracking window (independent
+//     of LeadersPerRound),
+//   - the per-slot vote/direct-commit maps stay within LeadersPerRound x
+//     window — L slots per retained round, nothing pinned past GC,
+//   - the reputation ledger stays bounded: events expire out at
+//     ReputationWindow + ReconfigDelay + GCDepth behind the commit frontier
+//     and the per-round offense dedupe map follows the GC horizon.
+//
+// TestReputationScheduleCrossNodeAgreement: the reputation-driven leader
+// schedule is a pure function of the committed prefix, so every live party
+// must derive a byte-identical LeaderSchedule for any round range below the
+// common commit horizon — and with a rotation member crashed, that schedule
+// must actually diverge from the static round-robin (the offender demoted
+// for ReputationWindow rounds while its evidence is active).
+func TestReputationScheduleCrossNodeAgreement(t *testing.T) {
+	n, leaders := 5, 2 // 2r mod 5 cycles all nodes: the mute node is
+	// periodically the slot-0 primary, so rounds time out and TCs commit.
+	mute := map[types.NodeID]bool{4: true}
+	c := newTClusterML(t, n, leaders, topt{
+		mode: ModeBaseline, mute: mute,
+		timeout: 700 * time.Millisecond,
+		rep:     true, repWin: 16, rdelay: 4,
+	})
+	c.net.Run(15 * time.Second)
+	if got := c.minOrdered(mute); got < n {
+		t.Fatalf("ordered only %d vertices", got)
+	}
+	c.checkConsistentOrder(mute)
+
+	// The schedule is final for rounds at or below every live node's last
+	// ordered round: evidence applying at round r was anchored
+	// ReconfigDelay+1 rounds below, so it is inside all their prefixes.
+	horizon := types.Round(0)
+	for i := 0; i < n; i++ {
+		if mute[types.NodeID(i)] {
+			continue
+		}
+		if r := c.nodes[i].Metrics.LastOrderedRound; horizon == 0 || r < horizon {
+			horizon = r
+		}
+	}
+	if horizon < 10 {
+		t.Fatalf("commit horizon too low for a meaningful range: %d", horizon)
+	}
+	ref := c.nodes[0].LeaderSchedule(0, horizon)
+	for i := 1; i < n; i++ {
+		if mute[types.NodeID(i)] {
+			continue
+		}
+		got := c.nodes[i].LeaderSchedule(0, horizon)
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("schedule diverged: node %d has %d as round-%d primary, node 0 has %d",
+					i, got[j], j, ref[j])
+			}
+		}
+	}
+	demotions := 0
+	for r := 0; r < len(ref); r++ {
+		static := types.NodeID(uint64(r) * uint64(leaders) % uint64(n))
+		if ref[r] != static {
+			demotions++
+			if ref[r] == 4 {
+				t.Fatalf("round %d primary moved to the crashed party itself", r)
+			}
+		}
+	}
+	if demotions == 0 {
+		t.Fatal("schedule never diverged from the static rotation despite a crashed leader")
+	}
+	t.Logf("horizon %d: %d rounds rescheduled away from static rotation", horizon, demotions)
+}
+
+func TestFloodFarFutureMultiLeaderStateBounded(t *testing.T) {
+	n, leaders := 5, 2 // 2r mod 5 cycles all nodes: the mute node is
+	// periodically the slot-0 primary, so rounds time out and TCs commit.
+	mute := map[types.NodeID]bool{4: true}
+	c := newTClusterML(t, n, leaders, topt{
+		mode: ModeBaseline, uniform: true, mute: mute,
+		timeout: 700 * time.Millisecond,
+		rep:     true, repWin: 16, rdelay: 4,
+	})
+	c.net.Run(12 * time.Second)
+	ep := c.net.Endpoint(1)
+	for i := 0; i < 200; i++ {
+		r := types.Round(10000 + i*37)
+		ep.Send(0, &types.TimeoutMsg{TO: types.Timeout{
+			Round: r, Voter: 1, Sig: crypto.Sign(&c.keys[1], timeoutCtx(r)),
+		}})
+		ep.Send(0, &types.NoVoteMsg{NV: types.NoVote{
+			Round: r, Voter: 1, Sig: crypto.Sign(&c.keys[1], novoteCtx(r)),
+		}})
+		ep.Send(0, &types.TCMsg{TC: types.TimeoutCert{Round: r}})
+	}
+	c.net.Run(500 * time.Millisecond)
+	node := c.nodes[0]
+	window := 4*node.cfg.GCDepth + 8
+	if got := len(node.timeoutAggs); got > window {
+		t.Fatalf("timeoutAggs grew to %d (bound %d)", got, window)
+	}
+	if got := len(node.novoteAggs); got > window {
+		t.Fatalf("novoteAggs grew to %d (bound %d)", got, window)
+	}
+	if got := len(node.tcs); got > window {
+		t.Fatalf("tcs grew to %d (bound %d)", got, window)
+	}
+	if got := len(node.nvcs); got > window {
+		t.Fatalf("nvcs grew to %d (bound %d)", got, window)
+	}
+	slotBound := leaders * window
+	if got := len(node.ord.votes); got > slotBound {
+		t.Fatalf("vote map grew to %d (bound %d = L x window)", got, slotBound)
+	}
+	if got := len(node.ord.committedDirect); got > slotBound {
+		t.Fatalf("committedDirect grew to %d (bound %d = L x window)", got, slotBound)
+	}
+	if node.Metrics.ReputationOffenses == 0 {
+		t.Fatal("muted leader produced no committed timeout evidence")
+	}
+	repBound := int(node.cfg.ReputationWindow) + int(node.cfg.ReconfigDelay) + node.cfg.GCDepth + 8
+	if got := len(node.rep.events); got > repBound {
+		t.Fatalf("reputation events grew to %d (bound %d)", got, repBound)
+	}
+	if got := len(node.rep.offenseSeen); got > window {
+		t.Fatalf("offenseSeen grew to %d (bound %d)", got, window)
+	}
+	c.checkConsistentOrder(mute)
+}
+
 // TestEchoDigestFloodBounded: one Byzantine voter minting a fresh digest per
 // echo at a single position must be counted once — the per-position voter
 // bitmap caps the tally map (each entry carries an N-sized aggregator) at
@@ -742,9 +882,13 @@ func newTClusterML(t *testing.T, n, leaders int, o topt) *tcluster {
 		node := New(Config{
 			Self: id, N: n, Mode: o.mode, Clans: o.clans,
 			Key: &c.keys[i], Reg: c.reg,
-			LeadersPerRound: leaders,
-			Blocks:          &testSource{id: id, txCount: 2, txSize: 64},
-			RoundTimeout:    o.timeout,
+			LeadersPerRound:  leaders,
+			Blocks:           &testSource{id: id, txCount: 2, txSize: 64},
+			RoundTimeout:     o.timeout,
+			ReconfigDelay:    o.rdelay,
+			LeaderReputation: o.rep,
+			ReputationWindow: o.repWin,
+			AnchorWait:       o.anchor,
 			Deliver: func(cv CommittedVertex) {
 				c.orders[i] = append(c.orders[i], cv)
 			},

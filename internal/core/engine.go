@@ -92,6 +92,7 @@ func (n *Node) Stop() {
 		n.roundTimer.Stop()
 		n.roundTimer = nil
 	}
+	n.stopAnchorTimer()
 	for _, row := range n.rbc.insts {
 		for _, in := range row {
 			if in == nil {

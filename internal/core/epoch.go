@@ -269,6 +269,9 @@ func (n *Node) installEpoch(es *epochState, persist bool) {
 	if persist && n.cfg.Store != nil {
 		n.putOwned(epochKey(es.num), marshalEpochRecord(es))
 	}
+	// The epoch table changed shape: reputation segments are epoch-scoped,
+	// so any cached eligible set may now span a fence.
+	n.rep.cacheValid = false
 
 	// Drain in-flight view state at or past the fence that was built under
 	// the old epoch's rules: RBC instances sourced by non-members, delivered
@@ -303,9 +306,15 @@ func (n *Node) installEpoch(es *epochState, persist bool) {
 		}
 		n.ord.deliveredByRound[r] = kept
 		delete(n.ord.leaderDelivered, r)
+		delete(n.ord.slotDelivered, r)
 		for _, v := range kept {
-			if v.Source == n.leader(r) {
-				n.ord.leaderDelivered[r] = true
+			if idx := n.leaderIdx(v.Pos()); idx >= 0 {
+				if idx == 0 {
+					n.ord.leaderDelivered[r] = true
+				}
+				if idx < 64 {
+					n.ord.slotDelivered[r] |= uint64(1) << uint(idx)
+				}
 			}
 		}
 	}

@@ -18,6 +18,15 @@ type orderState struct {
 	// Per-round delivery tracking (round quorum + leader arrival).
 	deliveredByRound map[types.Round][]*types.Vertex
 	leaderDelivered  map[types.Round]bool
+	// slotDelivered is a bitmask of delivered leader slots per round
+	// (bit k = leader slot k), driving the pipelined-anchor wait in
+	// tryAdvance. Only maintained for LeadersPerRound <= 64; beyond that
+	// the anchor wait degrades to the primary-only gate.
+	slotDelivered map[types.Round]uint64
+
+	// Anchor resolution spacing for the order.anchor_gap histogram.
+	lastAnchorAt  time.Duration
+	haveAnchorGap bool
 
 	// Vote tracking for the leader commit rule: votes[lp] = sources of
 	// round lp.Round+1 proposals with a strong edge to leader vertex lp.
@@ -27,14 +36,24 @@ type orderState struct {
 	// enqueued for ordering.
 	lastOrderedSeq uint64
 	haveOrdered    bool
+	// draining marks an active drainCommits loop: checkCommit calls made
+	// from inside it (the reputation re-tally path) must only enqueue, not
+	// recurse into a second drain over the same head.
+	draining bool
 
 	// Deferred work.
 	pendingInsert  map[types.Position]*types.Vertex // delivered, awaiting parents
 	waitingChild   map[types.Position][]types.Position
 	pendingLeaders []leaderCommit          // committed, awaiting complete history
 	commitWait     map[types.Position]bool // ancestors the head commit waits for
-	outQueue       []CommittedVertex       // ordered, awaiting blocks
-	outQueuedAt    []time.Duration         // clock reading at outQueue append
+	// commitWaitFor is the head the wait set was derived for. During
+	// catch-up, commits arrive out of order: a lower-sequence head can be
+	// enqueued after a higher one started waiting, making the recorded wait
+	// set stale — it is discarded (and re-derived later) when the queue
+	// head no longer matches.
+	commitWaitFor types.Position
+	outQueue      []CommittedVertex // ordered, awaiting blocks
+	outQueuedAt   []time.Duration   // clock reading at outQueue append
 	// lateVertices collects vertices that missed strong-edge inclusion and
 	// must be weak-edged by the next proposal (guarantees BAB validity).
 	lateVertices map[types.Position]*types.Vertex
@@ -208,7 +227,143 @@ func (n *Node) checkCommit(lp types.Position) {
 	sort.Slice(n.ord.pendingLeaders, func(i, j int) bool {
 		return n.ord.pendingLeaders[i].seq < n.ord.pendingLeaders[j].seq
 	})
+	if n.ord.draining {
+		return // the running drain picks the new entry up on its next pass
+	}
 	n.drainCommits()
+}
+
+// recomputePending re-derives the sequence number of every queued leader
+// commit against the current reputation table, dropping entries whose
+// position is no longer a leader slot. No-op with reputation disabled (the
+// static schedule never moves a slot).
+func (n *Node) recomputePending() {
+	if !n.cfg.LeaderReputation || len(n.ord.pendingLeaders) == 0 {
+		return
+	}
+	kept := n.ord.pendingLeaders[:0]
+	for _, lc := range n.ord.pendingLeaders {
+		idx := n.leaderIdx(lc.pos)
+		if idx < 0 {
+			continue
+		}
+		lc.seq = n.slotSeq(lc.pos, idx)
+		kept = append(kept, lc)
+	}
+	n.ord.pendingLeaders = kept
+	sort.Slice(n.ord.pendingLeaders, func(i, j int) bool {
+		return n.ord.pendingLeaders[i].seq < n.ord.pendingLeaders[j].seq
+	})
+}
+
+type slotVerdict int
+
+const (
+	slotUndecided slotVerdict = iota // fate still open: hold ordering here
+	slotSkips                        // can never reach quorum anywhere
+	slotCommits                      // quorum of next-round edges exists
+)
+
+// slotFate decides a leader slot's fate from the next round's seen proposals
+// (seen, not delivered: a proposal is the implicit vote, cast on the first
+// message of its RBC). The thresholds are chosen so no two parties can
+// disagree no matter which subsets they have seen: 2f+1 proposals with the
+// strong edge commit the slot — the direct-commit quorum itself — and the
+// slot is skipped once no extension of the local tally can reach that
+// quorum. The sum votes+unseen is monotonically non-increasing (a newly
+// seen proposal either votes, keeping the sum, or shrinks it), and by RBC
+// non-equivocation each member contributes one fixed proposal, so any other
+// party's count is bounded by this party's votes plus its unseen members:
+// once votes+unseen < 2f+1 holds anywhere, no party can ever observe a
+// quorum. A crashed member that never proposes the round leaves its slot in
+// the unseen term forever, which is exactly why the skip rule must tolerate
+// an incomplete tally rather than wait for one proposal per member.
+func (n *Node) slotFate(p types.Position) slotVerdict {
+	next := p.Round + 1
+	q := n.quorum(next)
+	members := n.epochOf(next).members
+	seen, votes := 0, 0
+	for _, m := range members {
+		in := n.instIfAny(types.Position{Round: next, Source: m})
+		if in == nil || in.vertex == nil {
+			continue
+		}
+		seen++
+		if in.vertex.HasStrongEdgeTo(p) {
+			votes++
+		}
+	}
+	switch {
+	case votes >= q:
+		return slotCommits
+	case votes+(len(members)-seen) < q:
+		return slotSkips // no extension of this tally reaches quorum
+	}
+	return slotUndecided
+}
+
+type slotDecision struct {
+	v      slotVerdict
+	direct bool // verdict came from a real vote quorum, not the indirect rule
+}
+
+// decideSlot resolves the fate of multi-leader slot ss: the threshold verdict
+// when the next round's tally has settled, otherwise the indirect rule — find
+// the first slot above ss, in sequence order, whose own fate is commit and
+// whose round is at least two above the slot's, with every slot in between
+// decided; the slot commits iff a strong path from that deciding slot reaches
+// it. The two-round gap makes the deciding slot's verdict authoritative in
+// both directions: a slot with a direct-commit quorum (2f+1 strong edges from
+// round r+1) is reached by a strong path from EVERY certified vertex two or
+// more rounds above it — each level's 2f+1 strong edges intersect the voter
+// quorum — so a missing path proves no party can ever observe the quorum.
+// Every input is a stable, eventually-global fact: threshold verdicts never
+// flip once decided (the tally bound is monotone), the deciding slot is the
+// same at every party because its selection reads only those verdicts, and
+// the path is evaluated over the deciding slot's complete causal history. A
+// party missing an input returns undecided and holds; vertex arrivals
+// re-trigger the drain. A slot whose tally straddles the quorum forever — a
+// crashed member's proposal is the deciding unseen vote — is the case the
+// indirect rule exists for: the threshold alone would hold the drain
+// indefinitely.
+func (n *Node) decideSlot(ss uint64, memo map[uint64]slotDecision) (slotVerdict, bool) {
+	if d, ok := memo[ss]; ok {
+		return d.v, d.direct
+	}
+	p := n.slotPos(ss)
+	v := n.slotFate(p)
+	direct := v == slotCommits
+	if v == slotUndecided {
+		var maxSeq uint64
+		if k := len(n.ord.pendingLeaders); k > 0 {
+			maxSeq = n.ord.pendingLeaders[k-1].seq
+		}
+		for s2 := ss + 1; s2 <= maxSeq; s2++ {
+			f2, _ := n.decideSlot(s2, memo)
+			if f2 == slotUndecided {
+				break // an open fate below the deciding slot: hold
+			}
+			if f2 == slotSkips {
+				continue
+			}
+			fp := n.slotPos(s2)
+			if fp.Round < p.Round+2 {
+				continue // too close: its strong edges need not intersect
+				// the slot's voters, so its verdict proves nothing here
+			}
+			if len(n.dag.MissingAncestors(fp)) > 0 {
+				break // path not yet evaluable: hold until history completes
+			}
+			if n.dag.StrongPath(fp, p) {
+				v = slotCommits
+			} else {
+				v = slotSkips
+			}
+			break
+		}
+	}
+	memo[ss] = slotDecision{v, direct}
+	return v, direct
 }
 
 // drainCommits resolves committed leaders into the total order as soon as
@@ -217,9 +372,24 @@ func (n *Node) checkCommit(lp types.Position) {
 // the missing positions are recorded in commitWait and the scan resumes only
 // once they are inserted (avoiding a full-history walk on every insert).
 func (n *Node) drainCommits() {
-	if len(n.ord.commitWait) > 0 {
-		return // still waiting; insertNow re-triggers when satisfied
+	if n.ord.draining {
+		return
 	}
+	if len(n.ord.commitWait) > 0 {
+		if len(n.ord.pendingLeaders) > 0 && n.ord.pendingLeaders[0].pos == n.ord.commitWaitFor {
+			return // still waiting; insertNow re-triggers when satisfied
+		}
+		clear(n.ord.commitWait) // stale: recorded for a head that moved
+	}
+	n.ord.draining = true
+	defer func() { n.ord.draining = false }()
+	// With a reputation-mutable schedule, the slot recorded at vote time may
+	// be stale: evidence ordered since can demote a leader and shift the
+	// rotation. Re-derive every queued entry against the current table —
+	// dropping entries no longer at a leader slot — so pops always compare
+	// current sequence numbers (a stale high seq must not outrank the true
+	// head, and a stale low seq must not be mistaken for already-ordered).
+	n.recomputePending()
 	for len(n.ord.pendingLeaders) > 0 {
 		lc := n.ord.pendingLeaders[0]
 		if n.ord.haveOrdered && lc.seq <= n.ord.lastOrderedSeq {
@@ -233,24 +403,79 @@ func (n *Node) drainCommits() {
 				}
 			}
 			if len(n.ord.commitWait) > 0 {
+				n.ord.commitWaitFor = lc.pos
 				return // wait for ancestors to be inserted
 			}
 		}
-		// Indirect commits: walk back through skipped leader slots.
-		chain := []types.Position{lc.pos}
-		cur := lc.pos
+		// Indirect commits. The two modes resolve skipped slots differently,
+		// because a slot ordered by one party must be provably skippable or
+		// provably committed at every other, no matter the arrival timing.
+		//
+		// Single-leader rounds carry a certificate: a committed round-r+1
+		// leader either strong-edges round r's leader — the chain walk finds
+		// it — or carries an NVC proving 2f+1 no-votes, so a slot the walk
+		// skips can never commit anywhere.
+		//
+		// Multi-leader slots have no such certificate, and a path-from-the-
+		// nearest-anchor walk is not canonical (which committed anchor sits
+		// nearest a slot depends on local commit timing), so ordering is
+		// fate-driven instead: every slot below the head is decided by
+		// decideSlot — the settled threshold verdict, or the indirect rule
+		// against the first committed slot two rounds up — and the drain
+		// holds while any slot's fate is still open (more arrivals
+		// re-trigger). A slot that commits below the head is enqueued and
+		// the loop restarts with it at the head, so the usual history
+		// completeness check runs before it is ordered.
+		type chainEnt struct {
+			pos types.Position
+			seq uint64
+		}
 		var start uint64
 		if n.ord.haveOrdered {
 			start = n.ord.lastOrderedSeq + 1
 		}
-		if lc.seq > 0 {
+		chain := []chainEnt{{lc.pos, lc.seq}}
+		if n.cfg.LeadersPerRound > 1 {
+			restart, hold := false, false
+			memo := make(map[uint64]slotDecision)
+			for ss := start; ss < lc.seq; ss++ {
+				v, direct := n.decideSlot(ss, memo)
+				if v == slotSkips {
+					continue
+				}
+				if v == slotCommits {
+					p := n.slotPos(ss)
+					if !n.ord.committedDirect[p] {
+						n.ord.committedDirect[p] = true
+						if direct {
+							n.Metrics.DirectCommits++
+						}
+						n.ord.pendingLeaders = append(n.ord.pendingLeaders, leaderCommit{pos: p, direct: direct, seq: ss})
+						sort.Slice(n.ord.pendingLeaders, func(i, j int) bool {
+							return n.ord.pendingLeaders[i].seq < n.ord.pendingLeaders[j].seq
+						})
+					}
+					restart = true
+				} else {
+					hold = true
+				}
+				break
+			}
+			if restart {
+				continue
+			}
+			if hold {
+				return
+			}
+		} else if lc.seq > 0 {
+			cur := lc.pos
 			for ss := lc.seq - 1; ; ss-- {
 				if ss < start {
 					break
 				}
 				prevLeader := n.slotPos(ss)
 				if n.dag.Has(prevLeader) && n.dag.StrongPath(cur, prevLeader) {
-					chain = append(chain, prevLeader)
+					chain = append(chain, chainEnt{prevLeader, ss})
 					cur = prevLeader
 				}
 				if ss == 0 {
@@ -258,17 +483,27 @@ func (n *Node) drainCommits() {
 				}
 			}
 		}
-		// Order oldest first, collecting committed membership transactions
-		// in total-order sequence (identical at every party).
+		// Order oldest first, each anchor's committed membership transactions
+		// scheduled against that anchor's round. The anchor a vertex is
+		// ordered under is a function of the total-order prefix alone (unlike
+		// the queue head, which depends on local commit timing), so both the
+		// epoch fence and the reputation apply round derived from it are
+		// identical at every party.
 		now := n.clk.Now()
-		var rtxs []types.ReconfigTx
+		rederive := false
 		for i := len(chain) - 1; i >= 0; i-- {
-			lp := chain[i]
+			lp := chain[i].pos
 			direct := lc.direct && lp == lc.pos
 			if !direct {
 				n.Metrics.IndirectCommits++
 			}
 			n.mOrderCommits.Inc()
+			if n.ord.haveAnchorGap {
+				n.mAnchorGap.Observe(now - n.ord.lastAnchorAt)
+			}
+			n.ord.lastAnchorAt = now
+			n.ord.haveAnchorGap = true
+			var rtxs []types.ReconfigTx
 			for _, v := range n.dag.OrderCausalHistory(lp) {
 				n.ord.outQueue = append(n.ord.outQueue, CommittedVertex{
 					Vertex:      v,
@@ -279,16 +514,47 @@ func (n *Node) drainCommits() {
 				n.Metrics.VerticesOrdered++
 				n.mOrderVerts.Inc()
 				rtxs = append(rtxs, v.Reconfig...)
+				// Committed view-change evidence feeds the reputation
+				// schedule: a TC or NVC ordered through the DAG charges
+				// the leader whose slot timed out.
+				if n.cfg.LeaderReputation {
+					if v.TC != nil {
+						n.noteOffense(v.TC.Round, lp.Round)
+					}
+					if v.NVC != nil {
+						n.noteOffense(v.NVC.Round, lp.Round)
+					}
+				}
+			}
+			n.ord.lastOrderedSeq = chain[i].seq
+			n.ord.haveOrdered = true
+			n.Metrics.LastOrderedRound = lp.Round
+			if lp.Round > n.lastCommitRound {
+				n.lastCommitRound = lp.Round
+			}
+			if len(rtxs) > 0 {
+				n.scheduleEpoch(lp.Round, rtxs)
+			}
+			// Evidence just ordered may apply at rounds this node has
+			// already delivered (catch-up after a crash): re-derive the vote
+			// tallies and leader marks for those rounds under the updated
+			// table. When the chain still has anchors above this one, their
+			// slots — and the skipped-slot walk itself — were derived under
+			// the pre-evidence table, so abort and recompute from the head;
+			// lastOrderedSeq already covers the anchors ordered so far.
+			if n.rep.retally {
+				from := n.rep.retallyFrom
+				n.rep.retally = false
+				n.retallyVotes(from)
+				n.recomputePending()
+				if i > 0 {
+					rederive = true
+					break
+				}
 			}
 		}
-		n.ord.lastOrderedSeq = lc.seq
-		n.ord.haveOrdered = true
-		n.Metrics.LastOrderedRound = lc.pos.Round
-		if lc.pos.Round > n.lastCommitRound {
-			n.lastCommitRound = lc.pos.Round
-		}
-		if len(rtxs) > 0 {
-			n.scheduleEpoch(lc.pos.Round, rtxs)
+		if rederive {
+			continue
 		}
 		n.ord.pendingLeaders = n.ord.pendingLeaders[1:]
 		n.gc()
@@ -329,6 +595,15 @@ func (n *Node) drainOut() {
 		}
 		now := n.clk.Now()
 		cv.OrderedAt = now
+		if v.CreatedAt > 0 {
+			cv.ProposedAt = time.Duration(v.CreatedAt)
+			// Cross-node clock skew (real transports stamp against private
+			// epochs) can produce nonsense deltas; only sane ones land in
+			// the histogram. Under the simulator the stamp is exact.
+			if d := now - cv.ProposedAt; d >= 0 {
+				n.mCommitLat.Observe(d)
+			}
+		}
 		n.mOrderLat.Observe(now - n.ord.outQueuedAt[0])
 		n.ord.outQueue = n.ord.outQueue[1:]
 		n.ord.outQueuedAt = n.ord.outQueuedAt[1:]
@@ -415,6 +690,22 @@ func (n *Node) gc() {
 			delete(n.ord.leaderDelivered, r)
 		}
 	}
+	for r := range n.ord.slotDelivered {
+		if r < horizon {
+			delete(n.ord.slotDelivered, r)
+		}
+	}
+	for r := range n.quorumAt {
+		if r < horizon {
+			delete(n.quorumAt, r)
+		}
+	}
+	for r := range n.anchorWaived {
+		if r < horizon {
+			delete(n.anchorWaived, r)
+		}
+	}
+	n.gcReputation(horizon)
 }
 
 // ---------------------------------------------------------------------------

@@ -125,7 +125,7 @@ func (n *Node) onVal(from types.NodeID, m *types.ValMsg) {
 	// Validate before allocating instance state: a flood of wrong-epoch or
 	// otherwise malformed vertices must not create vinsts (the retransmit
 	// machinery re-fetches legitimate vertices once their epoch installs).
-	if !n.validateVertex(v) {
+	if !n.validateVertex(v, false) {
 		return
 	}
 	in := n.inst(pos)
@@ -513,8 +513,31 @@ func (n *Node) maybeDeliver(pos types.Position, in *vinst) {
 	}
 	v := in.vertex
 	n.ord.deliveredByRound[v.Round] = append(n.ord.deliveredByRound[v.Round], v)
-	if v.Source == n.leader(v.Round) {
-		n.ord.leaderDelivered[v.Round] = true
+	now := n.clk.Now()
+	if idx := n.leaderIdx(v.Pos()); idx >= 0 {
+		if idx == 0 {
+			n.ord.leaderDelivered[v.Round] = true
+		}
+		if idx < 64 {
+			if n.ord.slotDelivered == nil {
+				n.ord.slotDelivered = map[types.Round]uint64{}
+			}
+			n.ord.slotDelivered[v.Round] |= uint64(1) << uint(idx)
+		}
+		// Feed the adaptive anchor-wait: how long after the round's quorum
+		// did this anchor land? (EWMA, alpha=1/4.)
+		if qa, ok := n.quorumAt[v.Round]; ok {
+			sample := now - qa
+			if n.anchorEWMA == 0 {
+				n.anchorEWMA = sample
+			} else {
+				n.anchorEWMA += (sample - n.anchorEWMA) / 4
+			}
+		}
+	}
+	if _, ok := n.quorumAt[v.Round]; !ok &&
+		len(n.ord.deliveredByRound[v.Round]) >= n.quorum(v.Round) {
+		n.quorumAt[v.Round] = now
 	}
 	if v.Round > n.maxQuorumRound && n.ord.leaderDelivered[v.Round] &&
 		len(n.ord.deliveredByRound[v.Round]) >= n.quorum(v.Round) {
@@ -666,7 +689,7 @@ func (n *Node) sendVtxPull(pos types.Position, in *vinst) {
 			break
 		}
 	}
-	n.ep.Send(target, &types.VtxReqMsg{Pos: pos})
+	n.ep.Send(target, &types.VtxReqMsg{Pos: pos, Have: n.lastCommitRound})
 	in.vtxPull = n.clk.After(n.cfg.PullRetry, func() {
 		n.mu.Lock()
 		defer n.mu.Unlock()
@@ -689,8 +712,22 @@ func (n *Node) onVtxReq(from types.NodeID, m *types.VtxReqMsg) {
 	if in.cert != nil {
 		n.ep.Send(from, in.cert)
 	}
-	rsp := &types.VtxRspMsg{Vertex: in.vertex}
-	v := in.vertex
+	n.sendVtxRsp(from, in.vertex)
+	// A requester whose commit frontier (Have) sits below the requested
+	// round is catching up level-by-level, one RTT per DAG level — too slow
+	// to close a large gap while the cluster keeps advancing at full speed
+	// (acute under the reputation schedule, which stops stalling on the
+	// crashed party's slots). Stream a bounded batch of the vertex's
+	// ancestors above the frontier so each round trip covers many levels.
+	if m.Have+1 < m.Pos.Round {
+		n.sendAncestorBatch(from, in.vertex, m.Have)
+	}
+}
+
+// sendVtxRsp ships one vertex (plus its block, when the requester's clan
+// entitles it to the payload) as a pull response.
+func (n *Node) sendVtxRsp(from types.NodeID, v *types.Vertex) {
+	rsp := &types.VtxRspMsg{Vertex: v}
 	if !v.BlockDigest.IsZero() && n.blockClanAt(v.Round, v.Source) == n.epochOf(v.Round).clanOf[from] {
 		if blk, ok := n.rbc.blocks[v.BlockDigest]; ok {
 			rsp.Block = blk
@@ -698,6 +735,54 @@ func (n *Node) onVtxReq(from types.NodeID, m *types.VtxReqMsg) {
 		}
 	}
 	n.ep.Send(from, rsp)
+}
+
+// catchupBatchMax bounds the ancestors streamed alongside one pull reply.
+const catchupBatchMax = 64
+
+// sendAncestorBatch walks v's causal history breadth-first (newest rounds
+// first, following edge order — deterministic) and streams up to
+// catchupBatchMax delivered ancestors above the requester's frontier, each
+// certificate-first exactly like a direct pull reply, so the requester
+// accepts them through the normal pull path with no extra protocol state.
+// Duplicates across overlapping batches are dropped by the receiver's
+// delivered check; the bound keeps the overlap cost modest.
+func (n *Node) sendAncestorBatch(to types.NodeID, v *types.Vertex, have types.Round) {
+	seen := make(map[types.Position]bool, 2*catchupBatchMax)
+	var queue []types.Position
+	push := func(e types.VertexRef) {
+		p := e.Pos()
+		if p.Round <= have || seen[p] {
+			return
+		}
+		seen[p] = true
+		queue = append(queue, p)
+	}
+	for _, e := range v.StrongEdges {
+		push(e)
+	}
+	for _, e := range v.WeakEdges {
+		push(e)
+	}
+	for sent := 0; len(queue) > 0 && sent < catchupBatchMax; {
+		p := queue[0]
+		queue = queue[1:]
+		pin := n.instIfAny(p)
+		if pin == nil || !pin.delivered || pin.vertex == nil {
+			continue
+		}
+		if pin.cert != nil {
+			n.ep.Send(to, pin.cert)
+		}
+		n.sendVtxRsp(to, pin.vertex)
+		sent++
+		for _, e := range pin.vertex.StrongEdges {
+			push(e)
+		}
+		for _, e := range pin.vertex.WeakEdges {
+			push(e)
+		}
+	}
 }
 
 func (n *Node) onVtxRsp(from types.NodeID, m *types.VtxRspMsg) {
@@ -717,7 +802,7 @@ func (n *Node) onVtxRsp(from types.NodeID, m *types.VtxRspMsg) {
 		// Accept only a vertex pinned by the certificate (the cert is
 		// the proof of uniqueness; a signature check would be redundant
 		// but the structure must still be sound).
-		if !in.hasCert || v.DigestCached() != in.certDigest || !n.validateVertex(v) {
+		if !in.hasCert || v.DigestCached() != in.certDigest || !n.validateVertex(v, true) {
 			return
 		}
 		in.vertex = v

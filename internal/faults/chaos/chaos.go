@@ -66,6 +66,21 @@ type Options struct {
 	// property checks are identical: safety and liveness must hold in
 	// both edge modes under the same schedules.
 	Sparse bool
+	// LeadersPerRound enables multi-leader rounds (core default when 0).
+	LeadersPerRound int
+	// LeaderReputation enables the reputation-driven leader schedule:
+	// committed timeout evidence demotes offenders from the rotation.
+	// The property checks are unchanged — safety and liveness must hold
+	// with the mutable schedule under the same fault mixes.
+	LeaderReputation bool
+	// AnchorWait caps the adaptive pipelined-anchor pause (0 = off).
+	AnchorWait time.Duration
+	// GCDepth overrides how many rounds behind the commit frontier each
+	// node retains (core's default when zero). Scenarios that keep nodes
+	// down for long stretches raise it so the survivors can still serve
+	// vertex pulls when the victims catch back up — the simulated cluster
+	// has no snapshot state-sync path (that is the TCP bootstrap's job).
+	GCDepth int
 	// FreshStoreOnRestart wipes the node's store before a restart instead
 	// of recovering from it — the pre-fault-layer behavior. Used by the
 	// control test proving the equivocation monitor catches a node that
@@ -113,6 +128,14 @@ type Result struct {
 	// EpochAtEnd is each node's final epoch number — the membership-churn
 	// witness: scheduled reconfigs must have fenced on every node.
 	EpochAtEnd []uint64
+	// Timeouts is each node's leader-timeout count (current incarnation,
+	// read before shutdown) — the reputation tests compare this across
+	// schedule modes: with reputation on, a crashed leader is demoted
+	// after its first committed timeout instead of stalling every pass.
+	Timeouts []int
+	// Offenses is each node's count of committed reputation evidence
+	// folded into the schedule (0 with reputation off).
+	Offenses []int
 	// Pipeline is the cluster-wide merged per-stage metrics snapshot
 	// (current incarnations, taken at the end of the run).
 	Pipeline metrics.Snapshot
@@ -226,21 +249,25 @@ func (c *cluster) startNode(i int) {
 	id := types.NodeID(i)
 	c.orders[i] = nil
 	node := core.New(core.Config{
-		Self:          id,
-		N:             c.opts.N,
-		Mode:          c.opts.Mode,
-		Clans:         c.clans,
-		Key:           &c.keys[i],
-		Reg:           c.reg,
-		Store:         c.stores[i],
-		Blocks:        mempool.NewGenerator(id, 3, 64, true),
-		Members:       c.opts.Members,
-		ReconfigDelay: c.opts.ReconfigDelay,
-		RoundTimeout:  700 * time.Millisecond,
-		ExecQueue:     execQueue,
-		Metrics:       c.regs[i],
-		SparseEdges:   c.opts.Sparse,
-		SparseSeed:    uint64(c.opts.Seed),
+		Self:             id,
+		N:                c.opts.N,
+		Mode:             c.opts.Mode,
+		Clans:            c.clans,
+		Key:              &c.keys[i],
+		Reg:              c.reg,
+		Store:            c.stores[i],
+		Blocks:           mempool.NewGenerator(id, 3, 64, true),
+		Members:          c.opts.Members,
+		ReconfigDelay:    c.opts.ReconfigDelay,
+		RoundTimeout:     700 * time.Millisecond,
+		ExecQueue:        execQueue,
+		Metrics:          c.regs[i],
+		SparseEdges:      c.opts.Sparse,
+		SparseSeed:       uint64(c.opts.Seed),
+		LeadersPerRound:  c.opts.LeadersPerRound,
+		LeaderReputation: c.opts.LeaderReputation,
+		AnchorWait:       c.opts.AnchorWait,
+		GCDepth:          c.opts.GCDepth,
 		Deliver: func(cv core.CommittedVertex) {
 			c.orders[i] = append(c.orders[i], cv.Vertex.Pos())
 		},
@@ -421,9 +448,14 @@ func Run(opts Options) Result {
 
 	snaps := make([]metrics.Snapshot, 0, n)
 	epochsAtEnd := make([]uint64, n)
+	timeouts := make([]int, n)
+	offenses := make([]int, n)
 	for i := range c.nodes {
 		snaps = append(snaps, c.nodes[i].PipelineSnapshot())
 		epochsAtEnd[i] = c.nodes[i].CurrentEpoch()
+		m := c.nodes[i].MetricsSnapshot()
+		timeouts[i] = m.Timeouts
+		offenses[i] = m.ReputationOffenses
 	}
 	for i := range c.nodes {
 		c.nodes[i].Stop()
@@ -433,6 +465,8 @@ func Run(opts Options) Result {
 	}
 	res := c.result(sched, atCheck, atEnd)
 	res.EpochAtEnd = epochsAtEnd
+	res.Timeouts = timeouts
+	res.Offenses = offenses
 	res.Pipeline = metrics.Merge(snaps...)
 	return res
 }

@@ -270,3 +270,67 @@ func TestChaosSparseMixedFaults(t *testing.T) {
 		}
 	}
 }
+
+// reputationSchedule crashes one of the five parties for a three-second
+// stretch. With LeadersPerRound=2 the primary slot (2r mod 5) visits every
+// party once per five rounds, so with the static schedule every rotation
+// pass costs a 700ms leader timeout until the restart. The window is kept
+// short: the simulated cluster catches restarted nodes up through per-round
+// vertex pulls (one RTT per DAG level), so the healthy majority must not
+// get more than a few seconds ahead.
+func reputationSchedule() *faults.Schedule {
+	return &faults.Schedule{Seed: 42, Events: []faults.Event{
+		{At: 1 * time.Second, Kind: faults.KindCrash, Node: 3},
+		{At: 4 * time.Second, Kind: faults.KindRestart, Node: 3, Torn: faults.TornNone},
+	}}
+}
+
+// TestChaosMultiLeaderReputation runs the identical seeded crash schedule
+// with the reputation-driven leader schedule off and on. Both runs must
+// uphold every safety and liveness property; the reputation run must commit
+// timeout evidence (offenses observed at the never-crashed node 0) and pay
+// strictly fewer leader-timeout rounds — after the first committed timeout
+// certificate the crashed leaders are demoted out of the rotation instead of
+// stalling every pass.
+func TestChaosMultiLeaderReputation(t *testing.T) {
+	run := func(rep bool) Result {
+		return Run(Options{
+			Seed:             42,
+			N:                5,
+			Dir:              t.TempDir(),
+			Schedule:         reputationSchedule(),
+			LeadersPerRound:  2,
+			LeaderReputation: rep,
+			// Short evidence->apply distance so demotion engages within the
+			// crash window (the default 32-round gap is tuned for epoch
+			// fences, not an 11-second scenario).
+			ReconfigDelay: 2,
+			// With the crashed leaders demoted the survivors run at full
+			// speed, so by the restart they are far past the default
+			// 64-round retention; keep everything so the victims' vertex
+			// pulls can catch them back up.
+			GCDepth: 4096,
+		})
+	}
+	static := run(false)
+	reput := run(true)
+	if static.Failed() {
+		dumpFailure(t, static)
+	}
+	if reput.Failed() {
+		dumpFailure(t, reput)
+	}
+	if static.Offenses[0] != 0 {
+		t.Fatalf("reputation off but node 0 recorded %d offenses", static.Offenses[0])
+	}
+	if reput.Offenses[0] == 0 {
+		t.Fatal("reputation on but no committed timeout evidence was folded into the schedule")
+	}
+	if static.Timeouts[0] == 0 {
+		t.Fatalf("control run saw no leader timeouts; schedule is not exercising the rotation (timeouts=%v)", static.Timeouts)
+	}
+	if reput.Timeouts[0] >= static.Timeouts[0] {
+		t.Fatalf("reputation did not reduce leader timeouts: static=%d reputation=%d (per-node static=%v reputation=%v)",
+			static.Timeouts[0], reput.Timeouts[0], static.Timeouts, reput.Timeouts)
+	}
+}

@@ -395,8 +395,9 @@ func (g *Gateway) NotifyCommitted(round uint64, txs [][]byte) {
 		}
 		g.mPending.Add(-int64(len(subs)))
 		for _, sub := range subs {
-			g.mE2E.Observe(now.Sub(sub.at))
-			if !sub.conn.send(encCommit(sub.client, sub.seq, round)) {
+			lat := now.Sub(sub.at)
+			g.mE2E.Observe(lat)
+			if !sub.conn.send(encCommit(sub.client, sub.seq, round, uint64(lat))) {
 				g.mSlowDrops.Inc()
 			}
 		}

@@ -112,18 +112,24 @@ type Report struct {
 
 	Duration   time.Duration // submission window (excludes drain)
 	GoodputTPS float64
-	E2E        *Hist // submit → commit notification
+	E2E        *Hist // submit → commit notification (client clock)
 	AckLat     *Hist // submit → admission verdict
+	// SrvCommit is the gateway-reported submit→commit latency carried in
+	// each MsgCommit frame (server clock). E2E minus this is the wire and
+	// client-side queueing overhead outside the gateway.
+	SrvCommit *Hist
 }
 
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"offered=%d acked=%d committed=%d rejected=%d goodput=%.0f tx/s e2e p50=%v p99=%v p999=%v max=%v",
+		"offered=%d acked=%d committed=%d rejected=%d goodput=%.0f tx/s e2e p50=%v p99=%v p999=%v max=%v srv-commit p50=%v p99=%v",
 		r.Offered, r.Acked, r.Committed, r.Rejected, r.GoodputTPS,
 		r.E2E.Quantile(0.50).Round(time.Millisecond),
 		r.E2E.Quantile(0.99).Round(time.Millisecond),
 		r.E2E.Quantile(0.999).Round(time.Millisecond),
-		r.E2E.Max().Round(time.Millisecond))
+		r.E2E.Max().Round(time.Millisecond),
+		r.SrvCommit.Quantile(0.50).Round(time.Millisecond),
+		r.SrvCommit.Quantile(0.99).Round(time.Millisecond))
 }
 
 // pendKey identifies one in-flight operation.
@@ -144,6 +150,7 @@ func Run(cfg Config) (*Report, error) {
 		RejectsBy: map[string]uint64{},
 		E2E:       NewHist(),
 		AckLat:    NewHist(),
+		SrvCommit: NewHist(),
 		Duration:  cfg.Duration,
 	}
 	var offered, acked, committed, rejected, readsOK, readsErr, connErrs atomic.Uint64
@@ -187,6 +194,7 @@ func Run(cfg Config) (*Report, error) {
 				if ok {
 					committed.Add(1)
 					rep.E2E.Observe(time.Since(at))
+					rep.SrvCommit.Observe(time.Duration(ev.Latency))
 				}
 			case gateway.MsgValue:
 				readsOK.Add(1)

@@ -35,7 +35,7 @@ const (
 	MsgHelloAck = 0x81 // version byte, faultBound, maxTx uvarints
 	MsgAck      = 0x82 // clientID, seq — admitted into the mempool
 	MsgReject   = 0x83 // clientID, seq, reason byte — shed at admission
-	MsgCommit   = 0x84 // clientID, seq, round — transaction committed
+	MsgCommit   = 0x84 // clientID, seq, round, latency ns — transaction committed
 	MsgValue    = 0x85 // clientID, seq, quorum byte, value bytes
 	MsgReadErr  = 0x86 // clientID, seq, reason byte
 )
@@ -163,12 +163,16 @@ func encReject(client, seq uint64, reason byte) []byte {
 	return endFrame(b)
 }
 
-func encCommit(client, seq, round uint64) []byte {
-	b := beginFrame(1 + 3*binary.MaxVarintLen64)
+// encCommit carries the gateway-observed submit→commit latency (nanoseconds)
+// so clients see the server-side number next to their own e2e measurement —
+// the gap between the two is queueing and wire time outside consensus.
+func encCommit(client, seq, round, latencyNs uint64) []byte {
+	b := beginFrame(1 + 4*binary.MaxVarintLen64)
 	b = append(b, MsgCommit)
 	b = binary.AppendUvarint(b, client)
 	b = binary.AppendUvarint(b, seq)
 	b = binary.AppendUvarint(b, round)
+	b = binary.AppendUvarint(b, latencyNs)
 	return endFrame(b)
 }
 
@@ -198,6 +202,7 @@ type ServerEvent struct {
 	Client  uint64
 	Seq     uint64
 	Round   uint64 // MsgCommit
+	Latency uint64 // MsgCommit: gateway submit→commit latency, nanoseconds
 	Reason  byte   // MsgReject / MsgReadErr
 	Quorum  byte   // MsgValue
 	Value   []byte // MsgValue; copied, caller-owned
@@ -253,6 +258,9 @@ func parseServerEvent(body []byte) (ServerEvent, error) {
 		case MsgCommit:
 			if ev.Round, ok = uv(); !ok {
 				return ServerEvent{}, errProto("bad round varint")
+			}
+			if ev.Latency, ok = uv(); !ok {
+				return ServerEvent{}, errProto("bad latency varint")
 			}
 		case MsgValue:
 			if len(rest) < 1 {

@@ -96,6 +96,16 @@ type Config struct {
 	// certificate broadcasts. See core.Config.SparseEdges.
 	SparseEdges bool
 
+	// LeaderReputation enables the reputation-driven leader schedule
+	// (core.Config.LeaderReputation): committed timeout evidence demotes
+	// offenders from the anchor rotation for ReputationWindow rounds.
+	LeaderReputation bool
+	// ReputationWindow overrides the demotion window (default 64 rounds).
+	ReputationWindow types.Round
+	// AnchorWait caps the adaptive pipelined-anchor pause
+	// (core.Config.AnchorWait); 0 disables it.
+	AnchorWait time.Duration
+
 	// Faults, when non-nil, wraps every endpoint in the deterministic
 	// fault layer and drives the schedule over the run: link drop/dup/
 	// reorder/delay rules, named partitions with heal, and crash/restart
@@ -156,11 +166,23 @@ type Result struct {
 	// all nodes (link drops, partitions, crashes).
 	FaultsDropped uint64
 
+	// ReputationOffenses sums, over all nodes, the committed timeout
+	// evidence folded into the leader schedule (zero unless
+	// Config.LeaderReputation is set and a leader actually missed slots).
+	ReputationOffenses int
+
 	// Pipeline is the cluster-wide merged metrics snapshot: per-stage
 	// queue depths, occupancy, and latency histograms for intake, rbc,
 	// order, and exec, plus transport/store counters (metrics.Merge over
 	// every node's registry).
 	Pipeline metrics.Snapshot
+
+	// CommitP50/CommitP95 are quantiles of the cluster-merged
+	// order.commit_latency histogram (proposal stamp → ordered): the
+	// consensus-level latency spine, measured over the whole run
+	// including warmup.
+	CommitP50 time.Duration
+	CommitP95 time.Duration
 
 	// Order is node 0's committed sequence over the full run (vertex
 	// positions in delivery order, deduplicated across restarts). It is
@@ -412,24 +434,27 @@ func Run(cfg Config) Result {
 			blocks = execution.NewWorkload(id, cfg.TxPerProposal, cfg.KVConflictPct, cfg.Seed)
 		}
 		ncfg := core.Config{
-			Self:            id,
-			N:               cfg.N,
-			Mode:            cfg.Mode,
-			Clans:           clans,
-			Key:             &keys[i],
-			Reg:             reg,
-			Costs:           costs,
-			Blocks:          blocks,
-			LeadersPerRound: cfg.LeadersPerRound,
-			RoundTimeout:    cfg.RoundTimeout,
-			Members:         cfg.Members,
-			ReconfigDelay:   cfg.ReconfigDelay,
-			GCDepth:         16,
-			Store:           st,
-			ExecQueue:       ExecQueue,
-			Metrics:         regs[i],
-			SparseEdges:     cfg.SparseEdges,
-			SparseSeed:      uint64(cfg.Seed),
+			Self:             id,
+			N:                cfg.N,
+			Mode:             cfg.Mode,
+			Clans:            clans,
+			Key:              &keys[i],
+			Reg:              reg,
+			Costs:            costs,
+			Blocks:           blocks,
+			LeadersPerRound:  cfg.LeadersPerRound,
+			RoundTimeout:     cfg.RoundTimeout,
+			Members:          cfg.Members,
+			ReconfigDelay:    cfg.ReconfigDelay,
+			GCDepth:          16,
+			Store:            st,
+			ExecQueue:        ExecQueue,
+			Metrics:          regs[i],
+			SparseEdges:      cfg.SparseEdges,
+			SparseSeed:       uint64(cfg.Seed),
+			LeaderReputation: cfg.LeaderReputation,
+			ReputationWindow: cfg.ReputationWindow,
+			AnchorWait:       cfg.AnchorWait,
 		}
 		if engines != nil {
 			eng := engines[i]
@@ -543,8 +568,15 @@ func Run(cfg Config) Result {
 	res.OrderedTxs = samples[0].txs
 	res.TPS = float64(res.OrderedTxs) / cfg.Measure.Seconds()
 	res.Pipeline = metrics.Merge(snaps...)
+	if h, ok := res.Pipeline.Hists["order.commit_latency"]; ok {
+		res.CommitP50 = h.Quantile(0.50)
+		res.CommitP95 = h.Quantile(0.95)
+	}
 	res.Order = order
 	res.Epochs = nodes[0].EpochTable()
+	for _, nd := range nodes {
+		res.ReputationOffenses += nd.MetricsSnapshot().ReputationOffenses
+	}
 	if engines != nil {
 		// Safe to read: every exec stage was flushed above, so the
 		// engines are quiescent.

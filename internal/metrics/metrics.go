@@ -124,8 +124,13 @@ func (s HistSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
-// Quantile returns the upper bound of the bucket holding the q-quantile
-// (0 < q <= 1); 0 when empty.
+// Quantile estimates the q-quantile (0 < q <= 1); 0 when empty. The
+// q-quantile's bucket is found by rank, then the estimate interpolates
+// linearly by rank position between the bucket's bounds — the power-of-two
+// buckets alone would quantize every estimate to a factor of two, too
+// coarse for the commit-latency gates, while interpolation tracks shifts
+// well inside one bucket (assuming observations spread evenly across it,
+// the usual histogram-interpolation premise).
 func (s HistSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -136,14 +141,19 @@ func (s HistSnapshot) Quantile(q float64) time.Duration {
 	}
 	var cum uint64
 	for i, c := range s.Buckets {
-		cum += c
-		if cum >= rank {
-			b := bucketBound(i)
-			if b > s.Max && s.Max > 0 {
-				return s.Max // tighten the overflow / last bucket
+		if cum+c >= rank && c > 0 {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
 			}
-			return b
+			hi := bucketBound(i)
+			if hi > s.Max && s.Max > lo {
+				hi = s.Max // tighten the overflow / last bucket
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
 		}
+		cum += c
 	}
 	return s.Max
 }

@@ -20,6 +20,7 @@ import (
 	"clanbft/internal/core"
 	"clanbft/internal/execution"
 	"clanbft/internal/execution/parallel"
+	"clanbft/internal/faults"
 	"clanbft/internal/harness"
 	"clanbft/internal/store"
 	"clanbft/internal/transport"
@@ -313,6 +314,45 @@ func PipelineE2E(b *testing.B) {
 	b.ReportMetric(float64(commits)/(warm+meas).Seconds(), "commits/sec")
 }
 
+// CommitLatencyUnderFaults drives the latency-compression scenario — a
+// nine-party, three-leader cluster whose primary rotation cycles only three
+// parties, with one of them crashed before the measurement window — under
+// the reputation-driven schedule with pipelined-anchor pacing, and reports
+// the committed vertices' creation-to-ordering p50 as commit_latency_p50
+// (milliseconds, lower is better; compareBaseline in cmd/bench gates it).
+// Without the reputation schedule the static rotation re-elects the dead
+// primary every third round and the p50 sits at roughly the RoundTimeout;
+// the gate pins the compressed schedule's p50 so a regression in offense
+// detection, the apply fence, or the slot-fate rules shows up as a latency
+// cliff rather than a silent stall. Deterministic: virtual time, fixed seed.
+// The static-vs-compressed comparison itself lives in cmd/bench -exp latency.
+func CommitLatencyUnderFaults(b *testing.B) {
+	var res harness.Result
+	for i := 0; i < b.N; i++ {
+		res = harness.Run(harness.Config{
+			Mode: core.ModeBaseline, N: 9, TxPerProposal: 30,
+			Warmup: 2 * time.Second, Measure: 4 * time.Second, Seed: 42,
+			RoundTimeout:     1200 * time.Millisecond,
+			LeadersPerRound:  3,
+			ReconfigDelay:    4,
+			LeaderReputation: true,
+			ReputationWindow: 256,
+			AnchorWait:       5 * time.Millisecond,
+			Faults: &faults.Schedule{Seed: 42, Events: []faults.Event{
+				{At: 500 * time.Millisecond, Kind: faults.KindCrash, Node: 3},
+			}},
+		})
+	}
+	if len(res.Order) == 0 || res.CommitP50 <= 0 {
+		b.Fatal("faulted pipeline committed nothing")
+	}
+	if res.ReputationOffenses == 0 {
+		b.Fatal("no committed offense evidence; the reputation schedule never engaged")
+	}
+	b.ReportMetric(float64(res.CommitP50)/float64(time.Millisecond), "commit_latency_p50")
+	b.ReportMetric(float64(len(res.Order))/6, "commits/sec")
+}
+
 // SparseDagScale drives one cell of the sparse-edge scaling experiment (a
 // multi-clan cluster of n nodes, dense or sparse edge mode) and reports
 // commits/sec plus bytes/commit and parents/vertex. bytes/commit — total
@@ -431,7 +471,8 @@ func Run(name string, fn func(b *testing.B)) Row {
 // Suite runs the gating micro-benchmarks: the multicast at two peer counts
 // (allocs/op must match — the encode-once invariant), group commit at two
 // writer counts (fsyncs/op must stay below one), the end-to-end pipeline
-// (commits/sec must not fall), the parallel execution engine's
+// (commits/sec must not fall), the faulted latency-compression cell
+// (commit_latency_p50 must not rise), the parallel execution engine's
 // tx/s-vs-dependency-rate sweep (tx/s must not fall; 8 workers at 0%
 // conflict must stay well above the serial row), the sparse-edge DAG
 // cell at n=50 in both edge modes (bytes/commit must not rise, commits/sec
@@ -450,6 +491,7 @@ func Suite(verbose io.Writer) []Row {
 		Run("DiskGroupCommit/writers=8", func(b *testing.B) { DiskGroupCommit(b, 8) }),
 		Run("DiskGroupCommit/writers=16", func(b *testing.B) { DiskGroupCommit(b, 16) }),
 		Run("PipelineE2E/n=12/single-clan", PipelineE2E),
+		Run("CommitLatencyUnderFaults/n=9/L=3/reputation", CommitLatencyUnderFaults),
 		Run("ParallelExecTxRate/workers=1/conflict=0", func(b *testing.B) { ParallelExecTxRate(b, 1, 0) }),
 		Run("ParallelExecTxRate/workers=8/conflict=0", func(b *testing.B) { ParallelExecTxRate(b, 8, 0) }),
 		Run("ParallelExecTxRate/workers=8/conflict=10", func(b *testing.B) { ParallelExecTxRate(b, 8, 10) }),

@@ -440,20 +440,26 @@ func unmarshalTCMsg(b []byte) (*TCMsg, error) {
 
 // VtxReqMsg asks a peer for a missing vertex (proposals are downloaded off
 // the critical path instead of being forwarded, per the paper's Section 7
-// implementation notes).
+// implementation notes). Have is the requester's commit frontier round: when
+// it sits far below the requested position, the responder streams a bounded
+// batch of the vertex's ancestors above Have alongside the reply, so a
+// catching-up party covers many DAG levels per round trip instead of one.
 type VtxReqMsg struct {
-	Pos Position
+	Pos  Position
+	Have Round
 }
 
 func (m *VtxReqMsg) Kind() MsgKind { return KindVtxReq }
 
 func (m *VtxReqMsg) Marshal(b []byte) []byte {
 	b = PutUvarint(b, uint64(m.Pos.Round))
-	return PutUvarint(b, uint64(m.Pos.Source))
+	b = PutUvarint(b, uint64(m.Pos.Source))
+	return PutUvarint(b, uint64(m.Have))
 }
 
 func (m *VtxReqMsg) WireSize() int {
-	return uvarintLen(uint64(m.Pos.Round)) + uvarintLen(uint64(m.Pos.Source))
+	return uvarintLen(uint64(m.Pos.Round)) + uvarintLen(uint64(m.Pos.Source)) +
+		uvarintLen(uint64(m.Have))
 }
 
 func unmarshalVtxReq(b []byte) (*VtxReqMsg, error) {
@@ -463,10 +469,14 @@ func unmarshalVtxReq(b []byte) (*VtxReqMsg, error) {
 		return nil, err
 	}
 	m.Pos.Round = Round(u)
-	if u, _, err = Uvarint(b); err != nil {
+	if u, b, err = Uvarint(b); err != nil {
 		return nil, err
 	}
 	m.Pos.Source = NodeID(u)
+	if u, _, err = Uvarint(b); err != nil {
+		return nil, err
+	}
+	m.Have = Round(u)
 	return m, nil
 }
 

@@ -93,6 +93,11 @@ type Vertex struct {
 	// because vertices replicate tribe-wide while blocks are clan-confined
 	// — every party must see a reconfiguration to schedule the fence.
 	Reconfig []ReconfigTx
+	// CreatedAt is the proposer's clock reading (nanoseconds) when the
+	// vertex was built, stamped once before signing and covered by the
+	// digest. OrderedAt minus this is the vertex's end-to-end consensus
+	// latency (the order.commit_latency histogram). Zero means unstamped.
+	CreatedAt int64
 
 	// dig caches the digest. Valid only while the vertex is immutable —
 	// protocol code finalizes a vertex (NormalizeEdges) before first use.
@@ -191,6 +196,7 @@ func (v *Vertex) Marshal(b []byte) []byte {
 	for i := range v.Reconfig {
 		b = v.Reconfig[i].Marshal(b)
 	}
+	b = PutUvarint(b, uint64(v.CreatedAt))
 	return b
 }
 
@@ -268,6 +274,10 @@ func UnmarshalVertex(b []byte) (*Vertex, []byte, error) {
 		}
 		v.Reconfig = append(v.Reconfig, tx)
 	}
+	if u, b, err = Uvarint(b); err != nil {
+		return nil, nil, err
+	}
+	v.CreatedAt = int64(u)
 	return v, b, nil
 }
 
@@ -296,6 +306,7 @@ func (v *Vertex) WireSize() int {
 	for i := range v.Reconfig {
 		n += v.Reconfig[i].WireSize()
 	}
+	n += uvarintLen(uint64(v.CreatedAt))
 	return n
 }
 
